@@ -1,0 +1,71 @@
+"""Ablation study: the Appendix C optimisations of log-k-decomp.
+
+DESIGN.md calls out four design choices; this benchmark measures the effect of
+disabling each on the size of the explored search space (λ-labels tried) and
+the wall-clock time for a representative positive and negative instance:
+
+* ``negative_base_case`` — early failure when only special edges remain,
+* ``restrict_allowed_edges`` — excluding edges covered below a separator,
+* ``parent_overlap_pruning`` — parent labels must intersect ∪λ(c),
+* ``require_balanced`` — the balanced-separator filter itself (also removes
+  the logarithmic depth guarantee).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+
+from repro.bench.tables import Table
+from repro.bench.reporting import render_table
+from repro.core import LogKDecomposer
+from repro.hypergraph import generators
+
+VARIANTS = {
+    "full (Algorithm 2)": {},
+    "no negative base case": {"negative_base_case": False},
+    "no allowed-edge restriction": {"restrict_allowed_edges": False},
+    "no parent-overlap pruning": {"parent_overlap_pruning": False},
+    "no balancedness requirement": {"require_balanced": False},
+}
+
+INSTANCES = [
+    ("cycle-20 (k=2, positive)", generators.cycle(20), 2, True),
+    ("chorded-cycle-14 (k=2)", generators.with_chords(generators.cycle(14), 2, seed=3), 2, None),
+    ("clique-5 (k=2, negative)", generators.clique(5), 2, False),
+]
+
+
+def test_ablation(benchmark):
+    def run_all():
+        rows = []
+        for label, options in VARIANTS.items():
+            for name, hypergraph, k, expected in INSTANCES:
+                decomposer = LogKDecomposer(**options)
+                start = time.perf_counter()
+                result = decomposer.decompose(hypergraph, k)
+                elapsed = time.perf_counter() - start
+                if expected is not None:
+                    assert result.success == expected, (label, name)
+                rows.append(
+                    [
+                        label,
+                        name,
+                        "yes" if result.success else "no",
+                        str(result.statistics.labels_tried),
+                        str(result.statistics.max_recursion_depth),
+                        f"{elapsed:.3f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: effect of the Appendix C optimisations",
+        ["Variant", "Instance", "Solved", "Labels tried", "Max depth", "Time (s)"],
+    )
+    for row in rows:
+        table.add_row(row)
+    write_result("ablation", render_table(table))
+    assert len(rows) == len(VARIANTS) * len(INSTANCES)

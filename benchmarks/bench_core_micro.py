@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the individual decomposers and core primitives.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of the
+building blocks whose cost dominates the experiments: component computation,
+λ-label enumeration, and each decomposer on a fixed mid-size instance.  They
+are not paper experiments themselves but make regressions in the hot paths
+visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BalancedGHDDecomposer,
+    DetKDecomposer,
+    HybridDecomposer,
+    LogKDecomposer,
+    OptimalHDSolver,
+)
+from repro.decomp.components import components
+from repro.decomp.covers import CoverEnumerator
+from repro.decomp.extended import full_comp
+from repro.hypergraph import generators
+from repro.query import DecompositionCSPSolver, evaluate_query, random_database_for_query
+from repro.hypergraph.cq import parse_conjunctive_query
+
+
+CYCLE20 = generators.cycle(20)
+GRID33 = generators.grid(3, 3)
+QUERY = parse_conjunctive_query("ans(x,w) :- r(x,y), s(y,z), t(z,x), u(z,w), v(w,p).")
+
+
+def test_components_cycle20(benchmark):
+    comp = full_comp(CYCLE20)
+    separator = CYCLE20.edge_bits(0) | CYCLE20.edge_bits(10)
+    result = benchmark(components, CYCLE20, comp, separator)
+    assert len(result) == 2
+
+
+def test_cover_enumeration_grid(benchmark):
+    enumerator = CoverEnumerator(GRID33, 2)
+
+    def enumerate_all():
+        return sum(1 for _ in enumerator.labels())
+
+    count = benchmark(enumerate_all)
+    assert count == 12 + 12 * 11 // 2
+
+
+@pytest.mark.parametrize(
+    "name,decomposer",
+    [
+        ("logk", LogKDecomposer()),
+        ("detk", DetKDecomposer()),
+        ("hybrid", HybridDecomposer(threshold=8)),
+        ("ghd", BalancedGHDDecomposer()),
+    ],
+)
+def test_decomposer_on_cycle20(benchmark, name, decomposer):
+    result = benchmark(decomposer.decompose, CYCLE20, 2)
+    assert result.success
+
+
+def test_optimal_solver_on_grid(benchmark):
+    solver = OptimalHDSolver()
+    outcome = benchmark(solver.solve, GRID33)
+    assert outcome.solved
+
+
+def test_hd_guided_query_evaluation(benchmark):
+    database = random_database_for_query(QUERY, domain_size=5, tuples_per_relation=30, seed=2)
+    report = benchmark(evaluate_query, QUERY, database)
+    assert report.width == 2
+
+
+def test_csp_solver(benchmark):
+    from repro.hypergraph.cq import CSPInstance
+
+    triples = tuple((a, (a + 1) % 4) for a in range(4))
+    csp = CSPInstance(
+        constraints=(
+            ("c1", ("x", "y"), triples),
+            ("c2", ("y", "z"), triples),
+            ("c3", ("z", "w"), triples),
+            ("c4", ("w", "x"), triples),
+        ),
+        name="square",
+    )
+    solver = DecompositionCSPSolver()
+    solution = benchmark(solver.solve, csp)
+    assert solution.satisfiable

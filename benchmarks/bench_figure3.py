@@ -1,0 +1,29 @@
+"""Figure 3: solved vs. unsolved instances by number of edges and vertices.
+
+Paper reference (Figure 3): the det-k-decomp scatter shows unsolved instances
+already at moderate sizes, HtdLEO somewhat fewer, while log-k-decomp solves
+almost everything except the extremely large or very high-width instances.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.bench.figures import build_figure3
+from repro.bench.reporting import render_scatter
+from repro.bench.stats import solved_count
+
+
+def test_figure3(benchmark, experiment_data):
+    scatter = benchmark.pedantic(
+        lambda: build_figure3(experiment_data), rounds=3, iterations=1
+    )
+    write_result("figure3", render_scatter(scatter))
+    assert set(scatter) == set(experiment_data.methods())
+    # Sanity: every method classifies every instance exactly once.
+    sizes = {len(points) for points in scatter.values()}
+    assert len(sizes) == 1
+    for method, points in scatter.items():
+        assert sum(1 for p in points if p.solved) == solved_count(
+            experiment_data.records_for(method)
+        )

@@ -1,0 +1,31 @@
+"""Recursion depth growth (Theorem 4.1): log-k-decomp vs. det-k-decomp.
+
+The paper's central structural claim is that log-k-decomp's recursion depth is
+O(log |E|) (Theorem 4.1), whereas strict top-down construction grows linearly.
+This benchmark measures the maximum recursion depth of both algorithms on
+growing cycle instances and records the two growth curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import write_result
+
+from repro.bench.figures import build_recursion_depth_series
+from repro.bench.reporting import render_depth_series
+
+
+def test_recursion_depth(benchmark):
+    series = benchmark.pedantic(
+        lambda: build_recursion_depth_series(sizes=(8, 16, 32, 64), k=2, family="cycle"),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("recursion_depth", render_depth_series(series))
+    logk = dict(series["log-k-decomp"])
+    detk = dict(series["det-k-decomp"])
+    for size, depth in logk.items():
+        assert depth <= 3 * math.log2(size) + 4, (size, depth)
+    assert detk[64] > logk[64]
+    assert detk[64] >= 64 / 4

@@ -1,0 +1,30 @@
+"""Table 5: the HtdLEO-style optimal solver with an extended (10x) timeout.
+
+Paper reference (Table 5): extending HtdLEO's timeout from 1 to 10 hours adds
+only 222 solved instances (2544 -> 2766), still short of the hybrid's 3102 —
+i.e. more time does not close the gap.  The benchmark reproduces the same
+comparison with the scaled-down budgets.
+"""
+
+from __future__ import annotations
+
+from conftest import BUDGET, write_result
+
+from repro.bench.reporting import render_table
+from repro.bench.tables import build_table5
+
+
+def test_table5(benchmark, corpus):
+    # Restrict to a representative subset so the extended-budget run stays
+    # bounded; the full corpus can be used by raising REPRO_BENCH_BUDGET.
+    subset = [inst for inst in corpus if inst.num_edges <= 80]
+
+    def build():
+        return build_table5(
+            subset, short_budget=BUDGET, extension_factor=5.0, max_width=4
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("table5", render_table(table))
+    total = table.rows[-1]
+    assert int(total[4]) >= int(total[3]), "more time can only solve more instances"

@@ -1,0 +1,70 @@
+"""HD-guided conjunctive query evaluation (the paper's database motivation).
+
+Run with ``python examples/query_evaluation.py``.
+
+The example evaluates a cyclic analytics-style query over a randomly generated
+database in two ways — the naive join of all atoms and the HD-guided pipeline
+(decompose, materialise bags, run Yannakakis) — and shows that both return the
+same answers while the HD-guided plan only ever joins at most ``width``
+relations at a time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.hypergraph.cq import parse_conjunctive_query
+from repro.query import evaluate_query, naive_join_query, random_database_for_query
+
+#: A "cyclic snowflake": a cycle of fact tables with dimension lookups, the
+#: kind of query the paper's introduction motivates HDs with.
+QUERY_TEXT = """
+ans(customer, region) :-
+    orders(customer, order),
+    lineitem(order, product),
+    supplies(product, supplier),
+    located(supplier, region),
+    serves(region, customer),
+    product_info(product, category)
+"""
+
+
+def main() -> None:
+    query = parse_conjunctive_query(QUERY_TEXT, name="cyclic-snowflake")
+    print("Query:", query, "\n")
+
+    database = random_database_for_query(
+        query, domain_size=12, tuples_per_relation=120, seed=42
+    )
+    print("Database relations:")
+    for name in database.relation_names():
+        print(f"  {name}: {len(database.get(name))} tuples")
+
+    # HD-guided evaluation.
+    start = time.perf_counter()
+    report = evaluate_query(query, database, algorithm="hybrid")
+    guided_seconds = time.perf_counter() - start
+    print(f"\nHypertree width of the query: {report.width}")
+    print("Decomposition used as the join plan:")
+    print(report.decomposition.describe())
+    print(
+        f"\nHD-guided evaluation: {len(report.answers)} answers "
+        f"in {guided_seconds * 1000:.1f} ms "
+        f"(decomposition {report.decomposition_seconds * 1000:.1f} ms, "
+        f"Yannakakis {report.evaluation_seconds * 1000:.1f} ms)"
+    )
+
+    # Reference: naive join of all atoms.
+    start = time.perf_counter()
+    naive = naive_join_query(database, query.atoms, query.free_variables)
+    naive_seconds = time.perf_counter() - start
+    print(f"Naive join evaluation: {len(naive)} answers in {naive_seconds * 1000:.1f} ms")
+
+    assert report.answers.as_dicts() == naive.as_dicts(), "the two plans must agree"
+    print("\nBoth plans return identical answers.")
+    sample = sorted(report.answers.tuples)[:5]
+    print("First answers:", sample)
+
+
+if __name__ == "__main__":
+    main()

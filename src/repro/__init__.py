@@ -1,0 +1,117 @@
+"""repro — fast parallel hypertree decompositions in logarithmic recursion depth.
+
+A Python reproduction of the PODS 2022 paper by Gottlob, Lanzinger, Okulmus
+and Pichler.  The package provides:
+
+* :mod:`repro.hypergraph` — hypergraphs, parsing, query abstraction, generators,
+* :mod:`repro.decomp` — (generalized) hypertree decompositions, extended
+  subhypergraphs, balanced separators, validation, join trees,
+* :mod:`repro.core` — the log-k-decomp algorithm (basic and optimised), the
+  det-k-decomp baseline, the hybrid strategy, parallel execution, a GHD
+  solver and an exact optimal-width solver,
+* :mod:`repro.query` — HD-guided conjunctive query evaluation and CSP solving,
+* :mod:`repro.bench` — the HyperBench-like corpus and the harness regenerating
+  the paper's tables and figures.
+
+Quickstart::
+
+    from repro import Hypergraph, decompose, hypertree_width
+
+    h = Hypergraph({"r1": ["x", "y"], "r2": ["y", "z"], "r3": ["z", "x"]})
+    width, hd = hypertree_width(h)           # -> (2, <HypertreeDecomposition ...>)
+    result = decompose(h, k=2)               # parametrised check
+    print(hd.describe())
+"""
+
+from .exceptions import (
+    DecompositionError,
+    HypergraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SolverError,
+    TimeoutExceeded,
+    ValidationError,
+)
+from .hypergraph import (
+    Atom,
+    ConjunctiveQuery,
+    CSPInstance,
+    Hypergraph,
+    parse_hypergraph,
+    read_hypergraph,
+    write_hypergraph,
+)
+from .decomp import (
+    Decomposition,
+    DecompositionNode,
+    GeneralizedHypertreeDecomposition,
+    HypertreeDecomposition,
+    JoinTree,
+    join_tree_from_decomposition,
+    validate_ghd,
+    validate_hd,
+)
+from .core import (
+    ALGORITHMS,
+    BalancedGHDDecomposer,
+    Decomposer,
+    DecompositionResult,
+    DetKDecomposer,
+    HybridDecomposer,
+    LogKBasicDecomposer,
+    LogKDecomposer,
+    OptimalHDSolver,
+    ParallelLogKDecomposer,
+    decompose,
+    hypertree_width,
+    is_width_at_most,
+    make_decomposer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "HypergraphError",
+    "ParseError",
+    "DecompositionError",
+    "ValidationError",
+    "SolverError",
+    "TimeoutExceeded",
+    "QueryError",
+    # hypergraph substrate
+    "Hypergraph",
+    "Atom",
+    "ConjunctiveQuery",
+    "CSPInstance",
+    "parse_hypergraph",
+    "read_hypergraph",
+    "write_hypergraph",
+    # decompositions
+    "Decomposition",
+    "DecompositionNode",
+    "HypertreeDecomposition",
+    "GeneralizedHypertreeDecomposition",
+    "JoinTree",
+    "join_tree_from_decomposition",
+    "validate_hd",
+    "validate_ghd",
+    # algorithms
+    "ALGORITHMS",
+    "Decomposer",
+    "DecompositionResult",
+    "LogKDecomposer",
+    "LogKBasicDecomposer",
+    "DetKDecomposer",
+    "HybridDecomposer",
+    "ParallelLogKDecomposer",
+    "BalancedGHDDecomposer",
+    "OptimalHDSolver",
+    "decompose",
+    "hypertree_width",
+    "is_width_at_most",
+    "make_decomposer",
+]

@@ -1,0 +1,62 @@
+"""Benchmark harness: HyperBench-like corpus, runner, tables and figures."""
+
+from .corpus import Instance, SIZE_GROUPS, corpus_summary, generate_corpus, hb_large, size_group
+from .runner import (
+    DecomposerSpec,
+    ExperimentData,
+    RunRecord,
+    default_method_specs,
+    run_experiment,
+    run_optimal_solver,
+    run_parametrised,
+)
+from .stats import RuntimeStats, group_records, runtime_stats, solved_count
+from .tables import Table, build_table1, build_table2, build_table3, build_table4, build_table5
+from .figures import (
+    ScalingSeries,
+    ScatterPoint,
+    build_figure1,
+    build_figure3,
+    build_recursion_depth_series,
+)
+from .reporting import (
+    render_depth_series,
+    render_scaling_series,
+    render_scatter,
+    render_table,
+)
+
+__all__ = [
+    "Instance",
+    "SIZE_GROUPS",
+    "corpus_summary",
+    "generate_corpus",
+    "hb_large",
+    "size_group",
+    "DecomposerSpec",
+    "ExperimentData",
+    "RunRecord",
+    "default_method_specs",
+    "run_experiment",
+    "run_optimal_solver",
+    "run_parametrised",
+    "RuntimeStats",
+    "group_records",
+    "runtime_stats",
+    "solved_count",
+    "Table",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "ScalingSeries",
+    "ScatterPoint",
+    "build_figure1",
+    "build_figure3",
+    "build_recursion_depth_series",
+    "render_depth_series",
+    "render_scaling_series",
+    "render_scatter",
+    "render_table",
+]

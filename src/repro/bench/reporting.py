@@ -1,0 +1,66 @@
+"""Text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .figures import ScalingSeries, ScatterPoint
+from .tables import Table
+
+__all__ = ["render_table", "render_scaling_series", "render_scatter", "render_depth_series"]
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`~repro.bench.tables.Table` as aligned plain text."""
+    widths = [len(header) for header in table.headers]
+    for row in table.rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [table.title, separator, format_row(table.headers), separator]
+    lines.extend(format_row(row) for row in table.rows)
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_scaling_series(series: Sequence[ScalingSeries]) -> str:
+    """Render Figure 1 data: average runtimes per core count and speedups."""
+    lines = ["Figure 1: average runtime (s) to find the optimal width vs. #cores"]
+    for line in series:
+        cores = ", ".join(str(c) for c in line.cores)
+        times = ", ".join(f"{t:.3f}" for t in line.average_runtimes)
+        speedups = ", ".join(f"{s:.2f}x" for s in line.speedup())
+        lines.append(f"  {line.method}")
+        lines.append(f"    cores:    [{cores}]")
+        lines.append(f"    avg time: [{times}]")
+        lines.append(f"    speedup:  [{speedups}]")
+        lines.append(f"    unsolved runs: {line.timeouts}")
+    return "\n".join(lines)
+
+
+def render_scatter(scatter: Mapping[str, Sequence[ScatterPoint]]) -> str:
+    """Render Figure 3 data: per-method solved/unsolved instance scatter."""
+    lines = ["Figure 3: solved (+) / unsolved (-) instances by #edges x #vertices"]
+    for method, points in scatter.items():
+        solved = sum(1 for p in points if p.solved)
+        lines.append(f"  {method}: {solved}/{len(points)} solved")
+        for point in sorted(points, key=lambda p: (p.num_edges, p.num_vertices)):
+            marker = "+" if point.solved else "-"
+            lines.append(
+                f"    {marker} |E|={point.num_edges:<4} |V|={point.num_vertices:<4} "
+                f"{point.instance_name}"
+            )
+    return "\n".join(lines)
+
+
+def render_depth_series(series: Mapping[str, Sequence[tuple[int, int]]]) -> str:
+    """Render the recursion-depth growth series (Theorem 4.1)."""
+    lines = ["Recursion depth vs. instance size (Theorem 4.1)"]
+    for method, points in series.items():
+        rendered = ", ".join(f"(|E|={m}, depth={d})" for m, d in points)
+        lines.append(f"  {method}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Common infrastructure shared by all decomposition algorithms.
+
+Every algorithm in :mod:`repro.core` is exposed as a :class:`Decomposer` whose
+:meth:`Decomposer.decompose` method takes a hypergraph and a width parameter
+``k`` and returns a :class:`DecompositionResult`.  The result records
+
+* whether an HD of width at most ``k`` was found,
+* the concrete decomposition (when successful),
+* wall-clock time and whether the time budget was exhausted,
+* search statistics (recursive calls, maximum recursion depth, number of
+  λ-labels tried, cache hits) used by the recursion-depth experiments.
+
+The :class:`SearchContext` bundles the per-run state (host hypergraph, width,
+deadline, statistics, cover enumerator) that the recursive search classes of
+the individual algorithms share.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..decomp.covers import CoverEnumerator
+from ..decomp.decomposition import HypertreeDecomposition
+from ..exceptions import SolverError, TimeoutExceeded
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "SearchStatistics",
+    "DecompositionResult",
+    "SearchContext",
+    "Decomposer",
+]
+
+
+@dataclass
+class SearchStatistics:
+    """Counters collected during a decomposition search."""
+
+    recursive_calls: int = 0
+    max_recursion_depth: int = 0
+    labels_tried: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    subproblems_delegated: int = 0
+
+    def record_call(self, depth: int) -> None:
+        """Record entering a recursive call at the given depth."""
+        self.recursive_calls += 1
+        if depth > self.max_recursion_depth:
+            self.max_recursion_depth = depth
+
+    def merge(self, other: "SearchStatistics") -> None:
+        """Accumulate the counters of ``other`` into this object."""
+        self.recursive_calls += other.recursive_calls
+        self.max_recursion_depth = max(self.max_recursion_depth, other.max_recursion_depth)
+        self.labels_tried += other.labels_tried
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.subproblems_delegated += other.subproblems_delegated
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of a single ``decompose(H, k)`` run."""
+
+    algorithm: str
+    hypergraph: Hypergraph
+    width_parameter: int
+    success: bool
+    decomposition: HypertreeDecomposition | None = None
+    elapsed: float = 0.0
+    timed_out: bool = False
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+
+    @property
+    def width(self) -> int | None:
+        """Width of the decomposition found, or ``None`` if unsuccessful."""
+        return self.decomposition.width if self.decomposition is not None else None
+
+    @property
+    def decided(self) -> bool:
+        """True iff the run produced a definite yes/no answer (no timeout)."""
+        return not self.timed_out
+
+    def __repr__(self) -> str:
+        status = "timeout" if self.timed_out else ("yes" if self.success else "no")
+        return (
+            f"<DecompositionResult {self.algorithm} k={self.width_parameter} "
+            f"{status} {self.elapsed:.3f}s>"
+        )
+
+
+class SearchContext:
+    """Per-run state shared by the recursive search implementations."""
+
+    __slots__ = ("host", "k", "stats", "enumerator", "deadline", "_timeout_stride", "_calls")
+
+    def __init__(
+        self,
+        host: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+        stats: SearchStatistics | None = None,
+    ) -> None:
+        if k < 1:
+            raise SolverError(f"width parameter k must be >= 1, got {k}")
+        self.host = host
+        self.k = k
+        self.stats = stats if stats is not None else SearchStatistics()
+        self.enumerator = CoverEnumerator(host, k)
+        self.deadline = None if timeout is None else time.monotonic() + timeout
+        self._timeout_stride = 64
+        self._calls = 0
+
+    def check_timeout(self) -> None:
+        """Raise :class:`TimeoutExceeded` if the deadline has passed.
+
+        The check is throttled: the wall clock is only consulted every few
+        calls, which keeps its overhead negligible on the hot path.
+        """
+        if self.deadline is None:
+            return
+        self._calls += 1
+        if self._calls % self._timeout_stride:
+            return
+        if time.monotonic() > self.deadline:
+            raise TimeoutExceeded("decomposition time budget exhausted")
+
+    def force_timeout_check(self) -> None:
+        """Unthrottled deadline check (used at recursion entry points)."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise TimeoutExceeded("decomposition time budget exhausted")
+
+
+class Decomposer(ABC):
+    """Abstract base class of all decomposition algorithms.
+
+    Subclasses implement :meth:`_run`, which either returns a
+    :class:`HypertreeDecomposition` of width at most ``k`` or ``None``.
+    The public :meth:`decompose` wraps it with timing, timeout handling and
+    result packaging.
+    """
+
+    name = "abstract"
+
+    def __init__(self, timeout: float | None = None) -> None:
+        self.timeout = timeout
+
+    @abstractmethod
+    def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
+        """Run the search and return a decomposition of width <= k, or None."""
+
+    def decompose(self, hypergraph: Hypergraph, k: int) -> DecompositionResult:
+        """Decide whether ``hypergraph`` has an HD of width at most ``k``.
+
+        Returns a :class:`DecompositionResult`; when ``success`` is True the
+        result carries a concrete decomposition of width at most ``k``.
+        """
+        if hypergraph.num_edges == 0:
+            raise SolverError("cannot decompose a hypergraph without edges")
+        context = SearchContext(hypergraph, k, timeout=self.timeout)
+        start = time.monotonic()
+        timed_out = False
+        decomposition: HypertreeDecomposition | None = None
+        try:
+            decomposition = self._run(context)
+        except TimeoutExceeded:
+            timed_out = True
+        elapsed = time.monotonic() - start
+        return DecompositionResult(
+            algorithm=self.name,
+            hypergraph=hypergraph,
+            width_parameter=k,
+            success=decomposition is not None,
+            decomposition=decomposition,
+            elapsed=elapsed,
+            timed_out=timed_out,
+            statistics=context.stats,
+        )
+
+    def is_width_at_most(self, hypergraph: Hypergraph, k: int) -> bool | None:
+        """Convenience wrapper: True / False, or ``None`` on timeout."""
+        result = self.decompose(hypergraph, k)
+        if result.timed_out:
+            return None
+        return result.success
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} timeout={self.timeout}>"

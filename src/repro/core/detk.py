@@ -1,0 +1,140 @@
+"""det-k-decomp: the sequential, cache-based baseline (Gottlob & Samer 2008).
+
+det-k-decomp constructs a hypertree decomposition strictly top-down: for the
+current component it guesses a λ-label of at most ``k`` edges that covers the
+interface to the parent bag, derives the (minimal, normal-form) bag χ, splits
+the remainder into [χ]-components and recurses.  Failed and successful
+subproblems are memoised, which is the feature that makes the algorithm fast
+on small instances but — as the paper argues — hard to parallelise, because
+the cache would have to be shared across threads.
+
+The implementation works on extended subhypergraphs (edge sets plus special
+edges), which is exactly the extension the paper's hybrid strategy requires:
+log-k-decomp hands its small subproblems, including their special edges, to
+this engine (Section 5.2 and Appendix D.2).
+"""
+
+from __future__ import annotations
+
+from ..decomp.components import ComponentSplitter
+from ..decomp.decomposition import HypertreeDecomposition
+from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..hypergraph import Hypergraph
+from .base import Decomposer, SearchContext
+from .fragments import fragment_to_decomposition, special_leaf
+
+__all__ = ["DetKSearch", "DetKDecomposer"]
+
+
+class DetKSearch:
+    """The recursive det-k-decomp search over extended subhypergraphs.
+
+    The search is stateful only through its memoisation cache and the shared
+    :class:`~repro.core.base.SearchContext`; it can therefore also be used as
+    the "leaf engine" of the hybrid decomposer.
+    """
+
+    def __init__(self, context: SearchContext, use_cache: bool = True) -> None:
+        self.context = context
+        self.use_cache = use_cache
+        self._cache: dict[tuple[frozenset[int], tuple[int, ...], int], FragmentNode | None] = {}
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    def search(self, comp: Comp, conn: int, depth: int = 1) -> FragmentNode | None:
+        """Return an HD fragment of width <= k for ⟨comp, conn⟩, or ``None``."""
+        context = self.context
+        context.stats.record_call(depth)
+        context.check_timeout()
+
+        fragment = self._base_case(comp, conn)
+        if fragment is not _NO_BASE_CASE:
+            return fragment
+
+        key = (comp.edges, comp.specials, conn)
+        if self.use_cache and key in self._cache:
+            context.stats.cache_hits += 1
+            cached = self._cache[key]
+            return cached.copy() if cached is not None else None
+        context.stats.cache_misses += 1
+
+        result = self._expand(comp, conn, depth)
+        if self.use_cache:
+            self._cache[key] = result.copy() if result is not None else None
+        return result
+
+    def cache_size(self) -> int:
+        """Number of memoised subproblems (used by tests and reports)."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _base_case(self, comp: Comp, conn: int) -> FragmentNode | None:
+        host, k = self.context.host, self.context.k
+        if len(comp.edges) <= k and not comp.specials:
+            lam = tuple(sorted(comp.edges))
+            chi = host.edges_to_mask(lam)
+            return FragmentNode(chi=chi, lam_edges=lam)
+        if not comp.edges and len(comp.specials) == 1:
+            return special_leaf(comp.specials[0])
+        if not comp.edges and len(comp.specials) > 1:
+            # Only "old" edges could separate the remaining special edges,
+            # which normal-form HDs never do (no progress would be made).
+            return None
+        return _NO_BASE_CASE  # type: ignore[return-value]
+
+    def _expand(self, comp: Comp, conn: int, depth: int) -> FragmentNode | None:
+        context = self.context
+        host = context.host
+        comp_vertices = comp.vertices(host)
+        splitter = ComponentSplitter(host, comp)
+        for lam in context.enumerator.labels(
+            require_from=comp.edges, cover=conn
+        ):
+            context.stats.labels_tried += 1
+            context.check_timeout()
+            lam_union = host.edges_to_mask(lam)
+            chi = lam_union & comp_vertices
+            if conn & ~chi:
+                # conn ⊆ ∪λ is guaranteed by the enumerator; conn ⊆ V(comp)
+                # by Claim A, so this only triggers for inconsistent input.
+                continue
+            sub_components = splitter.split(chi)
+            children: list[FragmentNode] = []
+            failed = False
+            for sub in sub_components:
+                sub_conn = sub.vertices(host) & chi
+                child = self.search(sub, sub_conn, depth + 1)
+                if child is None:
+                    failed = True
+                    break
+                children.append(child)
+            if failed:
+                continue
+            for special in comp.specials:
+                if special & ~chi == 0:
+                    children.append(special_leaf(special))
+            return FragmentNode(chi=chi, lam_edges=lam, children=children)
+        return None
+
+
+_NO_BASE_CASE = object()
+
+
+class DetKDecomposer(Decomposer):
+    """Public det-k-decomp decomposer (the ``NewDetKDecomp`` baseline)."""
+
+    name = "det-k-decomp"
+
+    def __init__(self, timeout: float | None = None, use_cache: bool = True) -> None:
+        super().__init__(timeout=timeout)
+        self.use_cache = use_cache
+
+    def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
+        search = DetKSearch(context, use_cache=self.use_cache)
+        fragment = search.search(full_comp(context.host), conn=0)
+        if fragment is None:
+            return None
+        return fragment_to_decomposition(context.host, fragment)

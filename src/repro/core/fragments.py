@@ -1,0 +1,96 @@
+"""Assembling HD fragments into decompositions (Appendix A of the paper).
+
+The recursive searches return :class:`~repro.decomp.extended.FragmentNode`
+trees in which special edges appear as placeholder leaves.  Two operations are
+needed to turn these into full hypertree decompositions:
+
+* :func:`replace_special_leaf` — the stitching step of the soundness proof:
+  the fragment for the part "above" a separator node c contains a leaf whose
+  λ-label is the special edge χ(c); that leaf is replaced by the actual node
+  c, below which the fragments of the components "below" c hang.
+* :func:`fragment_to_decomposition` — conversion of a *complete* fragment
+  (one without special leaves) into a user-facing
+  :class:`~repro.decomp.decomposition.HypertreeDecomposition`.
+"""
+
+from __future__ import annotations
+
+from ..decomp.decomposition import DecompositionNode, HypertreeDecomposition
+from ..decomp.extended import FragmentNode
+from ..exceptions import DecompositionError
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "replace_special_leaf",
+    "fragment_to_decomposition",
+    "special_leaf",
+    "regular_node",
+]
+
+
+def special_leaf(special: int) -> FragmentNode:
+    """A placeholder leaf for a special edge (λ(u) = {s}, χ(u) = s)."""
+    return FragmentNode(chi=special, special=special)
+
+
+def regular_node(
+    host: Hypergraph,
+    lam_edges: tuple[int, ...],
+    chi: int,
+    children: list[FragmentNode] | None = None,
+) -> FragmentNode:
+    """A regular fragment node; raises if χ is not covered by ∪λ."""
+    union = host.edges_to_mask(lam_edges)
+    if chi & ~union:
+        raise DecompositionError("χ of a regular node must be covered by ∪λ")
+    return FragmentNode(chi=chi, lam_edges=lam_edges, children=list(children or []))
+
+
+def replace_special_leaf(
+    fragment: FragmentNode, special: int, replacement: FragmentNode
+) -> bool:
+    """Replace one special leaf carrying ``special`` by ``replacement`` in place.
+
+    Returns True if a leaf was replaced.  If the root itself is the matching
+    leaf the root node is overwritten with the replacement's content (the
+    caller keeps its reference to the same object).
+    """
+    if fragment.is_special_leaf and fragment.special == special:
+        fragment.chi = replacement.chi
+        fragment.lam_edges = replacement.lam_edges
+        fragment.special = replacement.special
+        fragment.children = replacement.children
+        return True
+    stack = [fragment]
+    while stack:
+        node = stack.pop()
+        for index, child in enumerate(node.children):
+            if child.is_special_leaf and child.special == special:
+                node.children[index] = replacement
+                return True
+            stack.append(child)
+    return False
+
+
+def fragment_to_decomposition(
+    host: Hypergraph, fragment: FragmentNode
+) -> HypertreeDecomposition:
+    """Convert a complete fragment into a :class:`HypertreeDecomposition`.
+
+    Raises :class:`DecompositionError` if the fragment still contains special
+    placeholder leaves (which would mean stitching is incomplete).
+    """
+
+    def convert(node: FragmentNode) -> DecompositionNode:
+        if node.is_special_leaf:
+            raise DecompositionError(
+                "fragment still contains a special-edge placeholder leaf; "
+                "it does not describe a decomposition of the full hypergraph"
+            )
+        return DecompositionNode(
+            bag=host.mask_to_vertices(node.chi),
+            cover=frozenset(host.edge_name(i) for i in node.lam_edges),
+            children=[convert(child) for child in node.children],
+        )
+
+    return HypertreeDecomposition(host, convert(fragment))

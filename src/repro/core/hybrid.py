@@ -1,0 +1,146 @@
+"""Hybrid log-k-decomp / det-k-decomp (Section 5.2 and Appendix D.2).
+
+The hybrid strategy uses log-k-decomp's balanced separators to split large
+problems into small, independent subproblems, and switches to det-k-decomp —
+which excels on small instances thanks to its memoisation — once a subproblem
+is "simple enough".  Simplicity is measured by one of two metrics from the
+paper:
+
+* ``EdgeCount``:       m(H') = |E(H')|
+* ``WeightedCount``:   m(H') = |E(H')| * k / avg_{e ∈ E(H')} |e|
+
+log-k-decomp keeps control while ``m(H') >= threshold`` and delegates to
+det-k-decomp below the threshold.  The paper's best configuration is
+WeightedCount with thresholds around 400 (Table 2), which is the default
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..decomp.decomposition import HypertreeDecomposition
+from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..exceptions import SolverError
+from ..hypergraph import Hypergraph
+from .base import Decomposer, SearchContext
+from .detk import DetKSearch
+from .fragments import fragment_to_decomposition
+from .logk import LogKSearch
+
+__all__ = [
+    "SwitchMetric",
+    "EdgeCountMetric",
+    "WeightedCountMetric",
+    "HybridDecomposer",
+    "make_metric",
+]
+
+
+@dataclass(frozen=True)
+class SwitchMetric:
+    """Base class of hybridisation metrics; subclasses implement ``value``."""
+
+    name: str = "abstract"
+
+    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
+        """Complexity estimate of the subproblem ``comp``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EdgeCountMetric(SwitchMetric):
+    """The ``EdgeCount`` metric: the number of edges of the subproblem."""
+
+    name: str = "EdgeCount"
+
+    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
+        return float(len(comp.edges))
+
+
+@dataclass(frozen=True)
+class WeightedCountMetric(SwitchMetric):
+    """The ``WeightedCount`` metric: |E| * k / (average edge cardinality).
+
+    Higher width means more structure to search per edge; larger edges make
+    covers easier to find, so the count is inversely weighted by the average
+    edge size (Appendix D.2).
+    """
+
+    name: str = "WeightedCount"
+
+    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
+        if not comp.edges:
+            return 0.0
+        total_size = sum(host.edge_bits(i).bit_count() for i in comp.edges)
+        average = total_size / len(comp.edges)
+        return len(comp.edges) * k / average
+
+
+def make_metric(name: str) -> SwitchMetric:
+    """Metric factory accepting the names used in the paper's Table 2."""
+    normalized = name.strip().lower()
+    if normalized in {"edgecount", "edge", "edges"}:
+        return EdgeCountMetric()
+    if normalized in {"weightedcount", "weighted"}:
+        return WeightedCountMetric()
+    raise SolverError(f"unknown hybridisation metric {name!r}")
+
+
+class HybridDecomposer(Decomposer):
+    """log-k-decomp that hands small subproblems to det-k-decomp.
+
+    Parameters
+    ----------
+    metric:
+        A :class:`SwitchMetric` instance or its name (``"WeightedCount"`` /
+        ``"EdgeCount"``).
+    threshold:
+        Subproblems whose metric value is strictly below this threshold are
+        delegated to det-k-decomp.
+    """
+
+    name = "log-k-decomp-hybrid"
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        metric: SwitchMetric | str = "WeightedCount",
+        threshold: float = 400.0,
+        negative_base_case: bool = True,
+        restrict_allowed_edges: bool = True,
+        parent_overlap_pruning: bool = True,
+    ) -> None:
+        super().__init__(timeout=timeout)
+        self.metric = make_metric(metric) if isinstance(metric, str) else metric
+        self.threshold = threshold
+        self.negative_base_case = negative_base_case
+        self.restrict_allowed_edges = restrict_allowed_edges
+        self.parent_overlap_pruning = parent_overlap_pruning
+
+    def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
+        fragment = self._search_fragment(context)
+        if fragment is None:
+            return None
+        return fragment_to_decomposition(context.host, fragment)
+
+    def _search_fragment(self, context: SearchContext) -> FragmentNode | None:
+        detk = DetKSearch(context)
+
+        def delegate(comp: Comp, conn: int, depth: int) -> FragmentNode | None:
+            return detk.search(comp, conn, depth)
+
+        def should_delegate(comp: Comp) -> bool:
+            return self.metric.value(context.host, comp, context.k) < self.threshold
+
+        search = LogKSearch(
+            context,
+            negative_base_case=self.negative_base_case,
+            restrict_allowed_edges=self.restrict_allowed_edges,
+            parent_overlap_pruning=self.parent_overlap_pruning,
+            leaf_delegate=delegate,
+            delegate_predicate=should_delegate,
+        )
+        comp = full_comp(context.host)
+        allowed = frozenset(range(context.host.num_edges))
+        return search.search(comp, conn=0, allowed=allowed)

@@ -1,0 +1,310 @@
+"""log-k-decomp, optimised variant (Algorithm 2 of the paper).
+
+This is the paper's main contribution.  The recursive ``Decomp`` function
+searches for the λ-labels of a *pair* of adjacent HD nodes (parent ``p`` and
+child ``c``) such that ``c`` is a *balanced separator* of the current extended
+subhypergraph: no [χ(c)]-component below ``c`` and not the part above ``c``
+may contain more than half of the component's (special) edges.  Balancedness
+guarantees a recursion depth logarithmic in the number of edges
+(Theorem 4.1), which is what makes the search-space partitioning
+parallelisable without coordination.
+
+The optimisations of Appendix C are implemented and individually switchable
+(for the ablation benchmarks):
+
+* ``negative_base_case`` — fail immediately when only special edges remain,
+* child-first search with explicit *root-of-fragment* handling,
+* ``restrict_allowed_edges`` — edges covered below a separator are excluded
+  from the λ-labels of the fragment above it,
+* ``parent_overlap_pruning`` — parent labels only use edges intersecting
+  ∪λ(c),
+* ``require_balanced`` — the balancedness filter itself (disabling it keeps
+  the algorithm correct but removes the logarithmic depth guarantee; it exists
+  purely for the ablation study).
+
+A ``leaf_delegate`` hook allows the hybrid decomposer to hand sufficiently
+small subproblems to det-k-decomp (Appendix D.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..decomp.components import ComponentSplitter, components
+from ..decomp.covers import label_union
+from ..decomp.decomposition import HypertreeDecomposition
+from ..decomp.extended import Comp, FragmentNode, full_comp
+from .base import Decomposer, SearchContext
+from .fragments import fragment_to_decomposition, replace_special_leaf, special_leaf
+
+__all__ = ["LogKSearch", "LogKDecomposer"]
+
+LeafDelegate = Callable[[Comp, int, int], FragmentNode | None]
+DelegatePredicate = Callable[[Comp], bool]
+
+
+class LogKSearch:
+    """The recursive search of Algorithm 2 over extended subhypergraphs."""
+
+    def __init__(
+        self,
+        context: SearchContext,
+        negative_base_case: bool = True,
+        restrict_allowed_edges: bool = True,
+        parent_overlap_pruning: bool = True,
+        require_balanced: bool = True,
+        use_cache: bool = True,
+        leaf_delegate: LeafDelegate | None = None,
+        delegate_predicate: DelegatePredicate | None = None,
+        root_partition: Iterable[int] | None = None,
+    ) -> None:
+        self.context = context
+        self.negative_base_case = negative_base_case
+        self.restrict_allowed_edges = restrict_allowed_edges
+        self.parent_overlap_pruning = parent_overlap_pruning
+        self.require_balanced = require_balanced
+        self.use_cache = use_cache
+        self.leaf_delegate = leaf_delegate
+        self.delegate_predicate = delegate_predicate
+        self.root_partition = frozenset(root_partition) if root_partition is not None else None
+        # Subproblem cache: the same extended subhypergraph is reached through
+        # many different (λ(p), λ(c)) pairs during the search; memoising the
+        # outcome (keyed by the component, Conn and the allowed-edge set)
+        # avoids re-solving it.  This mirrors the caching of the reference
+        # implementation's subedge/component handling and never changes
+        # answers, only the amount of work.
+        self._cache: dict[
+            tuple[frozenset[int], tuple[int, ...], int, frozenset[int]],
+            FragmentNode | None,
+        ] = {}
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def search(
+        self, comp: Comp, conn: int, allowed: frozenset[int], depth: int = 1
+    ) -> FragmentNode | None:
+        """Decomp(H', Conn, A): an HD fragment of width <= k, or ``None``."""
+        context = self.context
+        context.stats.record_call(depth)
+        context.check_timeout()
+
+        cache_key = None
+        if self.use_cache:
+            allowed_key = allowed if self.restrict_allowed_edges else frozenset()
+            cache_key = (comp.edges, comp.specials, conn, allowed_key)
+            if cache_key in self._cache:
+                context.stats.cache_hits += 1
+                cached = self._cache[cache_key]
+                return cached.copy() if cached is not None else None
+            context.stats.cache_misses += 1
+
+        result = self._search_uncached(comp, conn, allowed, depth)
+        if cache_key is not None:
+            self._cache[cache_key] = result.copy() if result is not None else None
+        return result
+
+    def _search_uncached(
+        self, comp: Comp, conn: int, allowed: frozenset[int], depth: int
+    ) -> FragmentNode | None:
+        context = self.context
+        host, k = context.host, context.k
+
+        # ----- base cases (lines 5-10) --------------------------------- #
+        if len(comp.edges) <= k and not comp.specials:
+            lam = tuple(sorted(comp.edges))
+            return FragmentNode(chi=host.edges_to_mask(lam), lam_edges=lam)
+        if not comp.edges and len(comp.specials) == 1:
+            return special_leaf(comp.specials[0])
+        if not comp.edges and len(comp.specials) > 1:
+            if self.negative_base_case:
+                return None
+            # Without the negative base case the child loop below finds no
+            # candidate label (it requires a "new" edge) and fails anyway.
+
+        # ----- hybrid delegation (Appendix D.2) ------------------------ #
+        if (
+            self.leaf_delegate is not None
+            and self.delegate_predicate is not None
+            and self.delegate_predicate(comp)
+        ):
+            context.stats.subproblems_delegated += 1
+            return self.leaf_delegate(comp, conn, depth)
+
+        allowed_pool = allowed if self.restrict_allowed_edges else frozenset(
+            range(host.num_edges)
+        )
+        comp_vertices = comp.vertices(host)
+        half = comp.size / 2
+        splitter = ComponentSplitter(host, comp)
+
+        # ----- ChildLoop (lines 11-43) --------------------------------- #
+        child_labels = self._child_labels(comp, allowed_pool, depth)
+        for lam_c in child_labels:
+            context.stats.labels_tried += 1
+            context.check_timeout()
+            lam_c_union = label_union(host, lam_c)
+
+            if self.require_balanced and splitter.largest_size(lam_c_union) > half:
+                continue
+
+            if conn & ~lam_c_union == 0:
+                # ----- c is the root of the fragment (lines 15-21) ----- #
+                comps_c = splitter.split(lam_c_union)
+                fragment = self._try_root(
+                    comp, lam_c, lam_c_union, comps_c, allowed_pool, depth
+                )
+                if fragment is not None:
+                    return fragment
+                continue
+
+            # ----- ParentLoop (lines 22-43) ---------------------------- #
+            fragment = self._try_parents(
+                comp, conn, lam_c, lam_c_union, comp_vertices, allowed_pool, depth,
+                splitter,
+            )
+            if fragment is not None:
+                return fragment
+
+        return None
+
+    # ------------------------------------------------------------------ #
+    # pieces of the search
+    # ------------------------------------------------------------------ #
+    def _child_labels(
+        self, comp: Comp, allowed_pool: frozenset[int], depth: int
+    ) -> Iterable[tuple[int, ...]]:
+        enumerator = self.context.enumerator
+        if depth == 1 and self.root_partition is not None:
+            return enumerator.labels_for_partition(
+                allowed_pool, sorted(self.root_partition), require_from=comp.edges
+            )
+        return enumerator.labels(allowed=allowed_pool, require_from=comp.edges)
+
+    def _try_root(
+        self,
+        comp: Comp,
+        lam_c: tuple[int, ...],
+        lam_c_union: int,
+        comps_c: list[Comp],
+        allowed_pool: frozenset[int],
+        depth: int,
+    ) -> FragmentNode | None:
+        """Lines 15-21: the child label covers Conn, so c roots the fragment."""
+        host = self.context.host
+        chi_c = lam_c_union & comp.vertices(host)
+        children: list[FragmentNode] = []
+        for sub in comps_c:
+            sub_conn = sub.vertices(host) & chi_c
+            child = self.search(sub, sub_conn, allowed_pool, depth + 1)
+            if child is None:
+                return None
+            children.append(child)
+        for special in comp.specials:
+            if special & ~chi_c == 0:
+                children.append(special_leaf(special))
+        return FragmentNode(chi=chi_c, lam_edges=lam_c, children=children)
+
+    def _try_parents(
+        self,
+        comp: Comp,
+        conn: int,
+        lam_c: tuple[int, ...],
+        lam_c_union: int,
+        comp_vertices: int,
+        allowed_pool: frozenset[int],
+        depth: int,
+        splitter: ComponentSplitter | None = None,
+    ) -> FragmentNode | None:
+        """Lines 22-43: find a parent label λ(p) compatible with the child c."""
+        context = self.context
+        host = context.host
+        half = comp.size / 2
+        if splitter is None:
+            splitter = ComponentSplitter(host, comp)
+        overlap = lam_c_union if self.parent_overlap_pruning else None
+        for lam_p in context.enumerator.labels(
+            allowed=allowed_pool, require_from=comp.edges, overlap_with=overlap
+        ):
+            context.stats.labels_tried += 1
+            context.check_timeout()
+            lam_p_union = label_union(host, lam_p)
+
+            comps_p = splitter.split(lam_p_union)
+            comp_down = next((c for c in comps_p if c.size > half), None)
+            if comp_down is None:
+                continue
+            down_vertices = comp_down.vertices(host)
+
+            chi_c = lam_c_union & down_vertices
+            if down_vertices & conn & ~lam_p_union:
+                continue  # connectedness check, line 29
+            if down_vertices & lam_p_union & ~chi_c:
+                continue  # connectedness check, line 31
+
+            sub_components = components(host, comp_down, chi_c)
+            children: list[FragmentNode] = []
+            failed = False
+            for sub in sub_components:
+                sub_conn = sub.vertices(host) & chi_c
+                child = self.search(sub, sub_conn, allowed_pool, depth + 1)
+                if child is None:
+                    failed = True
+                    break
+                children.append(child)
+            if failed:
+                continue
+
+            comp_up = comp.difference(comp_down).with_special(chi_c)
+            allowed_up = allowed_pool - comp_down.edges
+            up = self.search(comp_up, conn, allowed_up, depth + 1)
+            if up is None:
+                continue
+
+            for special in comp_down.specials:
+                if special & ~chi_c == 0:
+                    children.append(special_leaf(special))
+            node_c = FragmentNode(chi=chi_c, lam_edges=lam_c, children=children)
+            if not replace_special_leaf(up, chi_c, node_c):
+                # The fragment above must contain the placeholder for χ(c).
+                continue
+            return up
+        return None
+
+
+class LogKDecomposer(Decomposer):
+    """Public decomposer running the optimised log-k-decomp (Algorithm 2)."""
+
+    name = "log-k-decomp"
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        negative_base_case: bool = True,
+        restrict_allowed_edges: bool = True,
+        parent_overlap_pruning: bool = True,
+        require_balanced: bool = True,
+    ) -> None:
+        super().__init__(timeout=timeout)
+        self.negative_base_case = negative_base_case
+        self.restrict_allowed_edges = restrict_allowed_edges
+        self.parent_overlap_pruning = parent_overlap_pruning
+        self.require_balanced = require_balanced
+
+    def _make_search(self, context: SearchContext) -> LogKSearch:
+        return LogKSearch(
+            context,
+            negative_base_case=self.negative_base_case,
+            restrict_allowed_edges=self.restrict_allowed_edges,
+            parent_overlap_pruning=self.parent_overlap_pruning,
+            require_balanced=self.require_balanced,
+        )
+
+    def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
+        search = self._make_search(context)
+        comp = full_comp(context.host)
+        allowed = frozenset(range(context.host.num_edges))
+        fragment = search.search(comp, conn=0, allowed=allowed)
+        if fragment is None:
+            return None
+        return fragment_to_decomposition(context.host, fragment)

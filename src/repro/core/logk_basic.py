@@ -1,0 +1,142 @@
+"""log-k-decomp, basic variant (Algorithm 1 of the paper).
+
+Algorithm 1 is the form in which the paper proves correctness (Appendix A)
+and the logarithmic recursion-depth bound (Theorem 4.1).  Its main program
+guesses the λ-label of the *root* of the HD and calls the recursive
+``Decomp`` function on every [λ(r)]-component; ``Decomp`` itself guesses the
+labels of a parent/child node pair, with the child required to be a balanced
+separator of the current extended subhypergraph.
+
+The optimised variant in :mod:`repro.core.logk` supersedes this one in
+practice; the basic variant is kept because (a) it is the algorithm the
+correctness proofs refer to, (b) differential tests between the two variants
+(and det-k-decomp) are a strong guard against implementation bugs, and (c)
+the ablation study uses it as the "no optimisations" reference point.
+"""
+
+from __future__ import annotations
+
+from ..decomp.components import components
+from ..decomp.covers import label_union
+from ..decomp.decomposition import HypertreeDecomposition
+from ..decomp.extended import Comp, FragmentNode, full_comp
+from .base import Decomposer, SearchContext
+from .fragments import fragment_to_decomposition, replace_special_leaf, special_leaf
+
+__all__ = ["LogKBasicSearch", "LogKBasicDecomposer"]
+
+
+class LogKBasicSearch:
+    """The main program and recursive ``Decomp`` function of Algorithm 1."""
+
+    def __init__(self, context: SearchContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------ #
+    # main program (lines 1-10)
+    # ------------------------------------------------------------------ #
+    def run(self) -> FragmentNode | None:
+        """Search for an HD of the whole hypergraph; return its fragment tree."""
+        context = self.context
+        host = context.host
+        whole = full_comp(host)
+        for lam_r in context.enumerator.labels():
+            context.stats.labels_tried += 1
+            context.check_timeout()
+            lam_r_union = label_union(host, lam_r)
+            comps_r = components(host, whole, lam_r_union)
+            children: list[FragmentNode] = []
+            rejected = False
+            for component in comps_r:
+                conn = component.vertices(host) & lam_r_union
+                fragment = self.decomp(component, conn, depth=1)
+                if fragment is None:
+                    rejected = True
+                    break
+                children.append(fragment)
+            if rejected:
+                continue
+            # χ(r) = ∪λ(r) by the special condition at the root.
+            return FragmentNode(chi=lam_r_union, lam_edges=lam_r, children=children)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # function Decomp (lines 11-40)
+    # ------------------------------------------------------------------ #
+    def decomp(self, comp: Comp, conn: int, depth: int) -> FragmentNode | None:
+        context = self.context
+        context.stats.record_call(depth)
+        context.check_timeout()
+        host, k = context.host, context.k
+
+        # Base cases (lines 12-15).
+        if len(comp.edges) <= k and not comp.specials:
+            lam = tuple(sorted(comp.edges))
+            return FragmentNode(chi=host.edges_to_mask(lam), lam_edges=lam)
+        if not comp.edges and len(comp.specials) == 1:
+            return special_leaf(comp.specials[0])
+
+        half = comp.size / 2
+
+        # ParentLoop (lines 16-39).
+        for lam_p in context.enumerator.labels():
+            context.stats.labels_tried += 1
+            context.check_timeout()
+            lam_p_union = label_union(host, lam_p)
+            comps_p = components(host, comp, lam_p_union)
+            comp_down = next((c for c in comps_p if c.size > half), None)
+            if comp_down is None:
+                continue
+            down_vertices = comp_down.vertices(host)
+            if down_vertices & conn & ~lam_p_union:
+                continue  # connectedness check, line 22
+
+            # ChildLoop (lines 24-39).
+            for lam_c in context.enumerator.labels():
+                context.stats.labels_tried += 1
+                context.check_timeout()
+                lam_c_union = label_union(host, lam_c)
+                chi_c = lam_c_union & down_vertices
+                if down_vertices & lam_p_union & ~chi_c:
+                    continue  # connectedness check, line 26
+                sub_components = components(host, comp_down, chi_c)
+                if any(sub.size > half for sub in sub_components):
+                    continue  # balancedness check, line 29
+
+                children: list[FragmentNode] = []
+                failed = False
+                for sub in sub_components:
+                    sub_conn = sub.vertices(host) & chi_c
+                    child = self.decomp(sub, sub_conn, depth + 1)
+                    if child is None:
+                        failed = True
+                        break
+                    children.append(child)
+                if failed:
+                    continue
+
+                comp_up = comp.difference(comp_down).with_special(chi_c)
+                up = self.decomp(comp_up, conn, depth + 1)
+                if up is None:
+                    continue
+
+                for special in comp_down.specials:
+                    if special & ~chi_c == 0:
+                        children.append(special_leaf(special))
+                node_c = FragmentNode(chi=chi_c, lam_edges=lam_c, children=children)
+                if not replace_special_leaf(up, chi_c, node_c):
+                    continue
+                return up
+        return None
+
+
+class LogKBasicDecomposer(Decomposer):
+    """Public decomposer running the basic log-k-decomp (Algorithm 1)."""
+
+    name = "log-k-decomp-basic"
+
+    def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
+        fragment = LogKBasicSearch(context).run()
+        if fragment is None:
+            return None
+        return fragment_to_decomposition(context.host, fragment)

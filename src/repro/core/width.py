@@ -1,0 +1,100 @@
+"""High-level width API: the functions most users call first.
+
+* :func:`decompose` — find an HD of width at most ``k`` with a chosen algorithm,
+* :func:`hypertree_width` — compute the exact hypertree width by iterative
+  deepening over ``k`` (with a fast acyclicity shortcut for width 1),
+* :func:`is_width_at_most` — the decision problem for a single ``k``,
+* :func:`make_decomposer` — the algorithm registry used by the benchmark
+  harness and the CLI.
+"""
+
+from __future__ import annotations
+
+from ..decomp.decomposition import HypertreeDecomposition
+from ..exceptions import SolverError
+from ..hypergraph import Hypergraph
+from ..hypergraph.properties import is_alpha_acyclic
+from .base import Decomposer, DecompositionResult
+from .detk import DetKDecomposer
+from .ghd import BalancedGHDDecomposer
+from .hybrid import HybridDecomposer
+from .logk import LogKDecomposer
+from .logk_basic import LogKBasicDecomposer
+from .parallel import ParallelLogKDecomposer
+
+__all__ = [
+    "ALGORITHMS",
+    "make_decomposer",
+    "decompose",
+    "is_width_at_most",
+    "hypertree_width",
+]
+
+#: Registry of algorithm names accepted by :func:`make_decomposer`.
+ALGORITHMS = {
+    "logk": LogKDecomposer,
+    "logk-basic": LogKBasicDecomposer,
+    "detk": DetKDecomposer,
+    "hybrid": HybridDecomposer,
+    "parallel": ParallelLogKDecomposer,
+    "ghd": BalancedGHDDecomposer,
+}
+
+
+def make_decomposer(algorithm: str = "hybrid", **options) -> Decomposer:
+    """Instantiate a decomposer by name; extra options go to its constructor."""
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise SolverError(f"unknown algorithm {algorithm!r}; known: {known}") from None
+    return factory(**options)
+
+
+def decompose(
+    hypergraph: Hypergraph, k: int, algorithm: str = "hybrid", **options
+) -> DecompositionResult:
+    """Search for an HD of ``hypergraph`` of width at most ``k``."""
+    return make_decomposer(algorithm, **options).decompose(hypergraph, k)
+
+
+def is_width_at_most(
+    hypergraph: Hypergraph, k: int, algorithm: str = "hybrid", **options
+) -> bool | None:
+    """Decide ``hw(H) <= k``; returns ``None`` if the time budget ran out."""
+    result = decompose(hypergraph, k, algorithm=algorithm, **options)
+    if result.timed_out:
+        return None
+    return result.success
+
+
+def hypertree_width(
+    hypergraph: Hypergraph,
+    algorithm: str = "hybrid",
+    max_width: int = 10,
+    timeout: float | None = None,
+    **options,
+) -> tuple[int, HypertreeDecomposition] | tuple[None, None]:
+    """Exact hypertree width by iterative deepening.
+
+    Returns ``(width, decomposition)`` for the smallest width at which an HD
+    exists, or ``(None, None)`` if none is found up to ``max_width`` within
+    the time budget.  Acyclic hypergraphs short-circuit to width 1 via the
+    GYO reduction, matching how practical tools treat the trivial case.
+    """
+    if hypergraph.num_edges == 0:
+        raise SolverError("cannot decompose a hypergraph without edges")
+    start_width = 1
+    if is_alpha_acyclic(hypergraph):
+        result = decompose(hypergraph, 1, algorithm=algorithm, timeout=timeout, **options)
+        if result.success and result.decomposition is not None:
+            return 1, result.decomposition
+        return None, None
+    start_width = 2
+    for k in range(start_width, max_width + 1):
+        result = decompose(hypergraph, k, algorithm=algorithm, timeout=timeout, **options)
+        if result.timed_out:
+            return None, None
+        if result.success and result.decomposition is not None:
+            return k, result.decomposition
+    return None, None

@@ -1,0 +1,58 @@
+"""Decomposition substrate: HD/GHD structures, extended subhypergraphs,
+components, balanced separators, λ-label enumeration, validation, join trees."""
+
+from .decomposition import (
+    Decomposition,
+    DecompositionNode,
+    GeneralizedHypertreeDecomposition,
+    HypertreeDecomposition,
+)
+from .extended import Comp, ExtendedSubhypergraph, FragmentNode, full_comp
+from .components import components, covered_items, separate
+from .covers import CoverEnumerator, label_union
+from .separators import (
+    cov,
+    find_balanced_separator,
+    is_balanced_label,
+    is_balanced_separator_node,
+    largest_component_size,
+)
+from .validation import (
+    check_width,
+    is_valid_ghd,
+    is_valid_hd,
+    validate_extended_hd,
+    validate_ghd,
+    validate_hd,
+)
+from .jointree import JoinTree, JoinTreeNode, join_tree_from_decomposition
+
+__all__ = [
+    "Decomposition",
+    "DecompositionNode",
+    "GeneralizedHypertreeDecomposition",
+    "HypertreeDecomposition",
+    "Comp",
+    "ExtendedSubhypergraph",
+    "FragmentNode",
+    "full_comp",
+    "components",
+    "covered_items",
+    "separate",
+    "CoverEnumerator",
+    "label_union",
+    "cov",
+    "find_balanced_separator",
+    "is_balanced_label",
+    "is_balanced_separator_node",
+    "largest_component_size",
+    "check_width",
+    "is_valid_ghd",
+    "is_valid_hd",
+    "validate_extended_hd",
+    "validate_ghd",
+    "validate_hd",
+    "JoinTree",
+    "JoinTreeNode",
+    "join_tree_from_decomposition",
+]

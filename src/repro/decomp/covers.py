@@ -1,0 +1,170 @@
+"""Enumeration of candidate λ-labels (edge covers / separators).
+
+All decomposition algorithms in this library search over λ-labels: subsets of
+at most ``k`` edges of the host hypergraph.  This module centralises that
+enumeration together with the pruning rules described in Appendix C of the
+paper:
+
+* *allowed edges* — only edges from a caller-supplied set may be used,
+* *progress* — at least one edge must come from the current component's edge
+  set (a label of "old" edges only violates the normal form),
+* *overlap* — for the parent label search, only edges intersecting ∪λ(c) are
+  considered,
+* *conn covering* — for det-k-decomp, the label must cover the Conn interface.
+
+The enumeration yields labels in a deterministic order: smaller labels first,
+and within a size lexicographically by edge index.  Determinism matters both
+for reproducible experiments and for the search-space partitioning used by the
+parallel backend (:mod:`repro.core.parallel`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["CoverEnumerator", "label_union", "count_labels"]
+
+
+def label_union(host: Hypergraph, label: Sequence[int]) -> int:
+    """∪λ as a vertex bitmask for a label given as edge indices."""
+    mask = 0
+    for index in label:
+        mask |= host.edge_bits(index)
+    return mask
+
+
+def count_labels(num_allowed: int, k: int) -> int:
+    """Number of labels of size 1..k over ``num_allowed`` edges (search-space size)."""
+    total = 0
+    binom = 1
+    for size in range(1, k + 1):
+        binom = binom * (num_allowed - size + 1) // size
+        if num_allowed < size:
+            break
+        total += binom
+    return total
+
+
+class CoverEnumerator:
+    """Enumerates λ-label candidates over a host hypergraph.
+
+    Parameters
+    ----------
+    host:
+        The hypergraph whose edges form the candidate pool.
+    k:
+        The width parameter; labels have between 1 and ``k`` edges.
+    """
+
+    def __init__(self, host: Hypergraph, k: int) -> None:
+        if k < 1:
+            raise ValueError("width parameter k must be >= 1")
+        self.host = host
+        self.k = k
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+    def labels(
+        self,
+        allowed: Iterable[int] | None = None,
+        require_from: frozenset[int] | None = None,
+        overlap_with: int | None = None,
+        cover: int | None = None,
+        max_size: int | None = None,
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield candidate labels as sorted tuples of edge indices.
+
+        Parameters
+        ----------
+        allowed:
+            Edge indices that may appear in the label (defaults to all edges).
+        require_from:
+            If given, at least one edge of the label must come from this set
+            (the "progress" rule of the normal form).
+        overlap_with:
+            If given (a vertex bitmask), every edge of the label must share a
+            vertex with it (the parent-label pruning of Appendix C).
+        cover:
+            If given (a vertex bitmask), the union of the label must contain
+            it (det-k-decomp's Conn-covering requirement).
+        max_size:
+            Optional override of the maximum label size (defaults to ``k``).
+        """
+        host = self.host
+        limit = self.k if max_size is None else min(max_size, self.k)
+        pool = sorted(allowed) if allowed is not None else list(range(host.num_edges))
+        if overlap_with is not None:
+            pool = [i for i in pool if host.edge_bits(i) & overlap_with]
+        if not pool:
+            return
+        require = require_from if require_from else None
+        if require is not None and not (require & set(pool)):
+            return
+        pool_bits = [host.edge_bits(i) for i in pool]
+        full_union = 0
+        for bits in pool_bits:
+            full_union |= bits
+        if cover is not None and cover & ~full_union:
+            return
+        for size in range(1, limit + 1):
+            for combo_positions in combinations(range(len(pool)), size):
+                label = tuple(pool[p] for p in combo_positions)
+                if require is not None and not (require & set(label)):
+                    continue
+                if cover is not None:
+                    union = 0
+                    for p in combo_positions:
+                        union |= pool_bits[p]
+                    if cover & ~union:
+                        continue
+                yield label
+
+    def labels_with_union(
+        self,
+        allowed: Iterable[int] | None = None,
+        require_from: frozenset[int] | None = None,
+        overlap_with: int | None = None,
+        cover: int | None = None,
+    ) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Like :meth:`labels` but also yields ∪λ as a bitmask."""
+        for label in self.labels(
+            allowed=allowed,
+            require_from=require_from,
+            overlap_with=overlap_with,
+            cover=cover,
+        ):
+            yield label, label_union(self.host, label)
+
+    # ------------------------------------------------------------------ #
+    # partitioning (used by the parallel backend)
+    # ------------------------------------------------------------------ #
+    def partition_first_edges(
+        self, allowed: Iterable[int] | None, num_parts: int
+    ) -> list[list[int]]:
+        """Partition the candidate pool round-robin into ``num_parts`` groups.
+
+        The parallel backend assigns each group to a worker; a worker only
+        explores labels whose *smallest* edge index belongs to its group,
+        which partitions the label space without duplication.
+        """
+        pool = sorted(allowed) if allowed is not None else list(range(self.host.num_edges))
+        parts: list[list[int]] = [[] for _ in range(max(1, num_parts))]
+        for position, edge in enumerate(pool):
+            parts[position % max(1, num_parts)].append(edge)
+        return parts
+
+    def labels_for_partition(
+        self,
+        allowed: Iterable[int] | None,
+        first_edges: Sequence[int],
+        require_from: frozenset[int] | None = None,
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield only the labels whose minimum edge index lies in ``first_edges``."""
+        firsts = set(first_edges)
+        for label in self.labels(allowed=allowed, require_from=require_from):
+            if min(label) in firsts:
+                yield label

@@ -1,0 +1,183 @@
+"""(Generalized) hypertree decompositions as user-facing objects.
+
+A decomposition is a rooted tree whose nodes carry a *bag* χ(u) (a set of
+vertex names) and a *cover* λ(u) (a set of edge names of the underlying
+hypergraph).  :class:`HypertreeDecomposition` additionally promises the
+special condition (condition (4) of the paper's Definition in Section 2);
+:class:`GeneralizedHypertreeDecomposition` does not.  Whether the promise is
+kept is checked by :mod:`repro.decomp.validation`, which all decomposers run
+through in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import DecompositionError
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "DecompositionNode",
+    "Decomposition",
+    "HypertreeDecomposition",
+    "GeneralizedHypertreeDecomposition",
+]
+
+
+@dataclass
+class DecompositionNode:
+    """A node of a decomposition tree: a bag χ(u) and a cover λ(u)."""
+
+    bag: frozenset[str]
+    cover: frozenset[str]
+    children: list["DecompositionNode"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.bag = frozenset(self.bag)
+        self.cover = frozenset(self.cover)
+
+    @property
+    def width(self) -> int:
+        """|λ(u)| of this node."""
+        return len(self.cover)
+
+    def nodes(self) -> Iterator["DecompositionNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def subtree_bags(self) -> frozenset[str]:
+        """χ(T_u): the union of the bags of the subtree rooted at this node."""
+        result: set[str] = set()
+        for node in self.nodes():
+            result |= node.bag
+        return frozenset(result)
+
+    def add_child(self, child: "DecompositionNode") -> "DecompositionNode":
+        """Append ``child`` and return it (builder-style convenience)."""
+        self.children.append(child)
+        return child
+
+
+class Decomposition:
+    """Common behaviour of hypertree and generalized hypertree decompositions."""
+
+    kind = "decomposition"
+
+    def __init__(self, hypergraph: Hypergraph, root: DecompositionNode) -> None:
+        self.hypergraph = hypergraph
+        self.root = root
+        self._check_edges_exist()
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Iterator[DecompositionNode]:
+        """Iterate over all nodes in pre-order."""
+        return self.root.nodes()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def width(self) -> int:
+        """The width: the maximum cover size over all nodes."""
+        return max(node.width for node in self.nodes())
+
+    @property
+    def depth(self) -> int:
+        """The depth of the decomposition tree (root has depth 1)."""
+
+        def rec(node: DecompositionNode) -> int:
+            if not node.children:
+                return 1
+            return 1 + max(rec(child) for child in node.children)
+
+        return rec(self.root)
+
+    def parent_map(self) -> dict[int, DecompositionNode | None]:
+        """Map ``id(node)`` to its parent node (``None`` for the root)."""
+        parents: dict[int, DecompositionNode | None] = {id(self.root): None}
+        for node in self.nodes():
+            for child in node.children:
+                parents[id(child)] = node
+        return parents
+
+    def bags_containing(self, vertex: str) -> list[DecompositionNode]:
+        """All nodes whose bag contains the given vertex."""
+        return [node for node in self.nodes() if vertex in node.bag]
+
+    def covering_node(self, edge_name: str) -> DecompositionNode | None:
+        """Some node whose bag covers the given edge, if one exists."""
+        edge = self.hypergraph.edge_vertices(self.hypergraph.edge_index(edge_name))
+        for node in self.nodes():
+            if edge <= node.bag:
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """A human-readable indented rendering of the decomposition."""
+        lines: list[str] = []
+
+        def rec(node: DecompositionNode, indent: int) -> None:
+            cover = ",".join(sorted(node.cover))
+            bag = ",".join(sorted(node.bag))
+            lines.append(f"{' ' * indent}λ={{{cover}}} χ={{{bag}}}")
+            for child in node.children:
+                rec(child, indent + 2)
+
+        rec(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} of {self.hypergraph.name or 'hypergraph'} "
+            f"width={self.width} nodes={len(self)}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _check_edges_exist(self) -> None:
+        vertex_set = self.hypergraph.vertices
+        for node in self.nodes():
+            for edge_name in node.cover:
+                if edge_name not in self.hypergraph:
+                    raise DecompositionError(
+                        f"cover of a node references unknown edge {edge_name!r}"
+                    )
+            if not node.bag <= vertex_set:
+                unknown = sorted(node.bag - vertex_set)
+                raise DecompositionError(
+                    f"bag of a node references unknown vertices {unknown}"
+                )
+
+
+class GeneralizedHypertreeDecomposition(Decomposition):
+    """A decomposition claiming GHD conditions (no special condition)."""
+
+    kind = "ghd"
+
+
+class HypertreeDecomposition(GeneralizedHypertreeDecomposition):
+    """A decomposition claiming all four HD conditions of the paper."""
+
+    kind = "hd"
+
+    @classmethod
+    def single_node(
+        cls, hypergraph: Hypergraph, cover: Iterable[str]
+    ) -> "HypertreeDecomposition":
+        """The one-node HD covering everything with the given edges."""
+        cover = frozenset(cover)
+        bag: set[str] = set()
+        for edge_name in cover:
+            bag |= hypergraph.edge_vertices(hypergraph.edge_index(edge_name))
+        return cls(hypergraph, DecompositionNode(frozenset(bag), cover))

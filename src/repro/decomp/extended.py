@@ -1,0 +1,267 @@
+"""Extended subhypergraphs and HD fragments (Section 3 of the paper).
+
+The recursive ``Decomp`` function of log-k-decomp operates on *extended
+subhypergraphs* ⟨E', Sp, Conn⟩ of a host hypergraph H (Definition 3.1):
+
+* ``E'`` — a subset of the edges of H,
+* ``Sp`` — a set of *special edges*, i.e. arbitrary vertex sets of H that act
+  as interfaces to HD fragments constructed elsewhere,
+* ``Conn`` — a set of vertices that the root bag of the fragment must contain
+  (the interface to the fragment "above").
+
+Internally the algorithms carry the pair ``(E', Sp)`` as a :class:`Comp`
+(matching the ``Comp`` type of Algorithm 1/2 in the paper) and pass ``Conn``
+separately as a vertex bitmask.  :class:`ExtendedSubhypergraph` is the
+user-facing, name-based view used by the validators and the tests.
+
+HDs *of* extended subhypergraphs (Definition 3.3) are represented as trees of
+:class:`FragmentNode`; special edges appear as dedicated leaf nodes whose
+λ-label is the special edge itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import DecompositionError
+from ..hypergraph import Hypergraph
+from ..hypergraph import bitset
+
+__all__ = ["Comp", "ExtendedSubhypergraph", "FragmentNode", "full_comp"]
+
+
+@dataclass(frozen=True)
+class Comp:
+    """The ``Comp`` record of Algorithm 1/2: an edge set plus special edges.
+
+    ``edges`` holds indices into the host hypergraph, ``specials`` holds the
+    special edges as vertex bitmasks.  The tuple of specials is kept sorted so
+    that equal components hash equally (the det-k cache relies on this).
+    """
+
+    edges: frozenset[int]
+    specials: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.specials))
+        if ordered != self.specials:
+            object.__setattr__(self, "specials", ordered)
+
+    @property
+    def size(self) -> int:
+        """|E'| + |Sp| — the size measure used by the balancedness checks."""
+        return len(self.edges) + len(self.specials)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the component has neither edges nor special edges."""
+        return not self.edges and not self.specials
+
+    def with_special(self, special: int) -> "Comp":
+        """Return a copy with one additional special edge."""
+        return Comp(self.edges, self.specials + (special,))
+
+    def difference(self, other: "Comp") -> "Comp":
+        """Pointwise difference (line 35/38 of the algorithms)."""
+        remaining_specials = list(self.specials)
+        for special in other.specials:
+            if special in remaining_specials:
+                remaining_specials.remove(special)
+        return Comp(self.edges - other.edges, tuple(remaining_specials))
+
+    def vertices(self, host: Hypergraph) -> int:
+        """V(H') as a bitmask: union of all edges and special edges."""
+        mask = 0
+        for index in self.edges:
+            mask |= host.edge_bits(index)
+        for special in self.specials:
+            mask |= special
+        return mask
+
+
+def full_comp(host: Hypergraph) -> Comp:
+    """The component representing the whole host hypergraph: ⟨E(H), ∅⟩."""
+    return Comp(frozenset(range(host.num_edges)), ())
+
+
+@dataclass(frozen=True)
+class ExtendedSubhypergraph:
+    """Name-based view of an extended subhypergraph ⟨E', Sp, Conn⟩.
+
+    Used by validators, tests and documentation examples; the decomposers work
+    on the bitmask-based :class:`Comp` directly.
+    """
+
+    host: Hypergraph
+    edges: frozenset[str]
+    specials: frozenset[frozenset[str]] = frozenset()
+    conn: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        unknown = [e for e in self.edges if e not in self.host]
+        if unknown:
+            raise DecompositionError(f"edges {unknown} are not edges of the host")
+        host_vertices = self.host.vertices
+        for special in self.specials:
+            if not special:
+                raise DecompositionError("special edges must be non-empty")
+            if not special <= host_vertices:
+                raise DecompositionError(
+                    f"special edge {sorted(special)} uses unknown vertices"
+                )
+        if not self.conn <= host_vertices:
+            raise DecompositionError("Conn uses vertices outside the host hypergraph")
+
+    @classmethod
+    def whole(cls, host: Hypergraph) -> "ExtendedSubhypergraph":
+        """H viewed as the extended subhypergraph ⟨E(H), ∅, ∅⟩ of itself."""
+        return cls(host, frozenset(host.edge_names))
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        """V(H'): all vertices of edges and special edges."""
+        result: set[str] = set()
+        for edge in self.edges:
+            result |= self.host.edge_vertices(self.host.edge_index(edge))
+        for special in self.specials:
+            result |= special
+        return frozenset(result)
+
+    @property
+    def size(self) -> int:
+        """|E'| + |Sp|."""
+        return len(self.edges) + len(self.specials)
+
+    def to_comp(self) -> Comp:
+        """Convert to the bitmask-based :class:`Comp` representation."""
+        return Comp(
+            frozenset(self.host.edge_index(e) for e in self.edges),
+            tuple(self.host.vertices_to_mask(s) for s in self.specials),
+        )
+
+    def conn_mask(self) -> int:
+        """Conn as a vertex bitmask."""
+        return self.host.vertices_to_mask(self.conn)
+
+    @classmethod
+    def from_comp(
+        cls, host: Hypergraph, comp: Comp, conn: int = 0
+    ) -> "ExtendedSubhypergraph":
+        """Build the name-based view from a :class:`Comp` plus a Conn bitmask."""
+        return cls(
+            host,
+            frozenset(host.edge_name(i) for i in comp.edges),
+            frozenset(host.mask_to_vertices(s) for s in comp.specials),
+            host.mask_to_vertices(conn),
+        )
+
+
+@dataclass
+class FragmentNode:
+    """A node of an HD of an extended subhypergraph (Definition 3.3).
+
+    Either a *regular* node with ``lam_edges`` ⊆ E(H) and χ ⊆ ∪λ, or a
+    *special leaf* with ``special`` set to the special edge s, λ(u) = {s} and
+    χ(u) = s.  χ is stored as a vertex bitmask of the host hypergraph.
+    """
+
+    chi: int
+    lam_edges: tuple[int, ...] = ()
+    special: int | None = None
+    children: list["FragmentNode"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.special is not None and self.lam_edges:
+            raise DecompositionError(
+                "a fragment node is either a regular node or a special leaf"
+            )
+        if self.special is not None and self.chi != self.special:
+            raise DecompositionError("a special leaf must have chi equal to its special edge")
+
+    @property
+    def is_special_leaf(self) -> bool:
+        """True iff this node is a placeholder leaf for a special edge."""
+        return self.special is not None
+
+    @property
+    def width(self) -> int:
+        """|λ(u)| of this node (a special leaf counts as 1)."""
+        return 1 if self.is_special_leaf else len(self.lam_edges)
+
+    def nodes(self) -> Iterator["FragmentNode"]:
+        """Iterate over all nodes of the fragment in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def special_leaves(self) -> list["FragmentNode"]:
+        """All special-edge placeholder leaves of the fragment."""
+        return [node for node in self.nodes() if node.is_special_leaf]
+
+    def max_width(self) -> int:
+        """The width of the fragment: the maximum |λ| over all nodes."""
+        return max(node.width for node in self.nodes())
+
+    def copy(self) -> "FragmentNode":
+        """Deep copy of the fragment (stitching mutates trees in place)."""
+        return FragmentNode(
+            chi=self.chi,
+            lam_edges=self.lam_edges,
+            special=self.special,
+            children=[child.copy() for child in self.children],
+        )
+
+    def lambda_union(self, host: Hypergraph) -> int:
+        """∪λ(u) as a vertex bitmask."""
+        if self.is_special_leaf:
+            return self.special or 0
+        return host.edges_to_mask(self.lam_edges)
+
+    def describe(self, host: Hypergraph, indent: int = 0) -> str:
+        """Human-readable rendering of the fragment, mostly for debugging."""
+        if self.is_special_leaf:
+            label = "{special " + ",".join(sorted(host.mask_to_vertices(self.chi))) + "}"
+        else:
+            label = "{" + ",".join(host.edge_name(i) for i in self.lam_edges) + "}"
+        bag = ",".join(sorted(host.mask_to_vertices(self.chi)))
+        lines = [" " * indent + f"λ={label} χ={{{bag}}}"]
+        for child in self.children:
+            lines.append(child.describe(host, indent + 2))
+        return "\n".join(lines)
+
+
+def iter_item_bits(host: Hypergraph, comp: Comp) -> Iterator[tuple[object, int]]:
+    """Yield ``(item, vertex_bits)`` for every edge index and special edge of ``comp``.
+
+    Edge items are their integer index; special items are the bitmask itself
+    (special edges are identified by their vertex set, as in the paper).
+    """
+    for index in comp.edges:
+        yield index, host.edge_bits(index)
+    for special in comp.specials:
+        yield ("sp", special), special
+
+
+def comp_vertices(host: Hypergraph, comp: Comp) -> int:
+    """V(comp): the union of all (special) edge vertex sets, as a bitmask."""
+    return comp.vertices(host)
+
+
+def mask_names(host: Hypergraph, mask: int) -> frozenset[str]:
+    """Convenience wrapper used in error messages and reports."""
+    return host.mask_to_vertices(mask)
+
+
+def specials_from_names(
+    host: Hypergraph, specials: Iterable[Iterable[str]]
+) -> tuple[int, ...]:
+    """Convert name-based special edges into sorted bitmasks."""
+    return tuple(sorted(host.vertices_to_mask(s) for s in specials))
+
+
+def _unused_bitset_reference() -> None:  # pragma: no cover - documentation aid
+    """The bitset helpers are re-exported here for discoverability in REPLs."""
+    _ = bitset

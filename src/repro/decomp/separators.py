@@ -1,0 +1,143 @@
+"""Balanced separators of extended subhypergraphs (Definitions 3.4, 3.9, Lemma 3.10).
+
+This module provides:
+
+* :func:`cov` / :func:`cov_subtree` — the "covered for the first time" sets of
+  Definition 3.4, computed on fragment trees;
+* :func:`is_balanced_separator_node` — the check of Definition 3.9 for a node
+  of an HD of an extended subhypergraph;
+* :func:`find_balanced_separator` — the constructive walk of the proof of
+  Lemma 3.10, which always returns a balanced separator node;
+* :func:`is_balanced_label` — the algorithmic check used by log-k-decomp: a
+  candidate λ-label is *balanced* for a component when none of its
+  [λ]-components exceeds half the component size.
+"""
+
+from __future__ import annotations
+
+from ..hypergraph import Hypergraph
+from .components import components
+from .extended import Comp, FragmentNode
+
+__all__ = [
+    "cov",
+    "cov_subtree",
+    "is_balanced_separator_node",
+    "find_balanced_separator",
+    "is_balanced_label",
+    "largest_component_size",
+]
+
+
+def _covered_at(host: Hypergraph, comp: Comp, node: FragmentNode) -> set[object]:
+    """Items of ``comp`` (edge indices / special bitmask markers) covered by χ(node)."""
+    covered: set[object] = set()
+    for index in comp.edges:
+        if host.edge_bits(index) & ~node.chi == 0:
+            covered.add(index)
+    for special in comp.specials:
+        if node.is_special_leaf and node.special == special:
+            covered.add(("sp", special))
+        elif special & ~node.chi == 0 and not node.is_special_leaf:
+            # A special edge is only *covered* (in the sense of Definition 3.3)
+            # by its dedicated leaf, but for the cov() bookkeeping of
+            # Definition 3.4 containment in χ(u) is what matters.
+            covered.add(("sp", special))
+    return covered
+
+
+def cov(
+    host: Hypergraph, comp: Comp, fragment: FragmentNode
+) -> dict[int, set[object]]:
+    """cov(u) for every node ``u`` of the fragment, keyed by ``id(u)``.
+
+    cov(u) is the set of (special) edges of ``comp`` covered at ``u`` for the
+    first time, i.e. covered by χ(u) but by no ancestor's χ.
+    """
+    result: dict[int, set[object]] = {}
+
+    def rec(node: FragmentNode, seen: set[object]) -> None:
+        here = _covered_at(host, comp, node) - seen
+        result[id(node)] = here
+        below = seen | here
+        for child in node.children:
+            rec(child, below)
+
+    rec(fragment, set())
+    return result
+
+
+def cov_subtree(
+    host: Hypergraph, comp: Comp, fragment: FragmentNode, node: FragmentNode
+) -> set[object]:
+    """cov(T_node): the union of cov(u) over the subtree rooted at ``node``."""
+    table = cov(host, comp, fragment)
+    total: set[object] = set()
+    for descendant in node.nodes():
+        total |= table[id(descendant)]
+    return total
+
+
+def is_balanced_separator_node(
+    host: Hypergraph, comp: Comp, fragment: FragmentNode, node: FragmentNode
+) -> bool:
+    """Check Definition 3.9 for ``node`` within the HD ``fragment`` of ``comp``."""
+    half = comp.size / 2
+    table = cov(host, comp, fragment)
+    for child in node.children:
+        below: set[object] = set()
+        for descendant in child.nodes():
+            below |= table[id(descendant)]
+        if len(below) > half:
+            return False
+    covered_below_or_at: set[object] = set()
+    for descendant in node.nodes():
+        covered_below_or_at |= table[id(descendant)]
+    above = comp.size - len(covered_below_or_at)
+    return above < half
+
+
+def find_balanced_separator(
+    host: Hypergraph, comp: Comp, fragment: FragmentNode
+) -> FragmentNode:
+    """The constructive proof of Lemma 3.10: walk down towards the oversized child.
+
+    Starting at the root, if every child subtree covers at most half of the
+    (special) edges the current node is a balanced separator; otherwise there
+    is exactly one oversized child and the walk continues there.  The walk is
+    guaranteed to terminate at a balanced separator.
+    """
+    half = comp.size / 2
+    table = cov(host, comp, fragment)
+
+    def subtree_cov(node: FragmentNode) -> set[object]:
+        total: set[object] = set()
+        for descendant in node.nodes():
+            total |= table[id(descendant)]
+        return total
+
+    current = fragment
+    while True:
+        oversized = None
+        for child in current.children:
+            if len(subtree_cov(child)) > half:
+                oversized = child
+                break
+        if oversized is None:
+            return current
+        current = oversized
+
+
+def largest_component_size(host: Hypergraph, comp: Comp, separator: int) -> int:
+    """The size of the largest [separator]-component of ``comp`` (0 if none)."""
+    comps = components(host, comp, separator)
+    return max((c.size for c in comps), default=0)
+
+
+def is_balanced_label(host: Hypergraph, comp: Comp, separator: int) -> bool:
+    """True iff no [separator]-component of ``comp`` exceeds half of |comp|.
+
+    This is the algorithmic balancedness test used by the ChildLoop of
+    Algorithm 2 (line 13), applied to the over-approximation ∪λ(c) of χ(c).
+    """
+    return largest_component_size(host, comp, separator) <= comp.size / 2

@@ -1,0 +1,19 @@
+"""Hypergraph substrate: data structure, IO, queries, generators, properties."""
+
+from .hypergraph import Hypergraph
+from .cq import Atom, ConjunctiveQuery, CSPInstance
+from .io import parse_hypergraph, read_hypergraph, write_hypergraph, to_hyperbench_format
+from . import generators, properties
+
+__all__ = [
+    "Hypergraph",
+    "Atom",
+    "ConjunctiveQuery",
+    "CSPInstance",
+    "parse_hypergraph",
+    "read_hypergraph",
+    "write_hypergraph",
+    "to_hyperbench_format",
+    "generators",
+    "properties",
+]

@@ -1,0 +1,68 @@
+"""Bitset helpers for vertex sets.
+
+Throughout the decomposition algorithms, sets of hypergraph vertices are
+represented as Python integers used as bitmasks: vertex ``i`` is a member of
+the set ``s`` iff bit ``i`` of ``s`` is set.  Python integers are arbitrary
+precision, so this representation works for hypergraphs of any size, and the
+set operations the algorithms need most (union, intersection, difference,
+subset tests) become single arithmetic operations.
+
+These helpers are deliberately tiny free functions; the hot paths of the
+decomposers inline the corresponding expressions, but tests, validators and
+less performance-critical code use the named versions for readability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bits_of",
+    "from_indices",
+    "indices_of",
+    "is_subset",
+    "intersects",
+    "popcount",
+    "singleton",
+]
+
+
+def singleton(index: int) -> int:
+    """Return the bitset containing only ``index``."""
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative integer indices."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def indices_of(mask: int) -> list[int]:
+    """Return the sorted list of indices contained in ``mask``."""
+    return list(bits_of(mask))
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Return the number of elements in the bitset ``mask``."""
+    return mask.bit_count()
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """Return ``True`` iff every element of ``inner`` is contained in ``outer``."""
+    return inner & ~outer == 0
+
+
+def intersects(first: int, second: int) -> bool:
+    """Return ``True`` iff the two bitsets share at least one element."""
+    return first & second != 0

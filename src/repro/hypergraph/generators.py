@@ -1,0 +1,265 @@
+"""Deterministic hypergraph generators.
+
+These generators produce the instance families used throughout the tests, the
+examples and the HyperBench-like benchmark corpus (:mod:`repro.bench.corpus`):
+
+* query-shaped families (chains, stars, snowflakes, cyclic join queries) that
+  model the *Application* instances of HyperBench,
+* combinatorial families (cycles, grids, cliques, hypercubes, random CSPs)
+  that model the *Synthetic* instances,
+* families with known hypertree width, used as test oracles.
+
+All generators are deterministic: random families take an explicit ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..exceptions import HypergraphError
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "cycle",
+    "path",
+    "star",
+    "chain_query",
+    "snowflake_query",
+    "grid",
+    "clique",
+    "triangle_cascade",
+    "hypercycle",
+    "random_csp",
+    "random_query",
+    "with_chords",
+]
+
+
+def cycle(length: int, name: str = "") -> Hypergraph:
+    """A cycle of ``length`` binary edges: R_i(x_i, x_{i+1}), indices mod length.
+
+    For ``length >= 4`` the hypertree width is exactly 2; a triangle
+    (``length == 3``) also has width 2; ``length in {1, 2}`` is acyclic
+    (width 1).
+    """
+    if length < 1:
+        raise HypergraphError("cycle length must be >= 1")
+    edges = {
+        f"R{i + 1}": [f"x{i + 1}", f"x{(i + 1) % length + 1}"] for i in range(length)
+    }
+    return Hypergraph(edges, name=name or f"cycle-{length}")
+
+
+def path(length: int, name: str = "") -> Hypergraph:
+    """A path of ``length`` binary edges (alpha-acyclic, width 1)."""
+    if length < 1:
+        raise HypergraphError("path length must be >= 1")
+    edges = {f"R{i + 1}": [f"x{i + 1}", f"x{i + 2}"] for i in range(length)}
+    return Hypergraph(edges, name=name or f"path-{length}")
+
+
+def star(rays: int, ray_arity: int = 2, name: str = "") -> Hypergraph:
+    """A star query: ``rays`` atoms sharing one centre variable (width 1)."""
+    if rays < 1:
+        raise HypergraphError("a star needs at least one ray")
+    if ray_arity < 2:
+        raise HypergraphError("ray arity must be >= 2")
+    edges = {}
+    for i in range(rays):
+        edges[f"S{i + 1}"] = ["c"] + [f"y{i + 1}_{j}" for j in range(ray_arity - 1)]
+    return Hypergraph(edges, name=name or f"star-{rays}")
+
+
+def chain_query(length: int, arity: int = 3, overlap: int = 1, name: str = "") -> Hypergraph:
+    """A chain of ``length`` atoms of the given arity, consecutive atoms sharing
+    ``overlap`` variables (alpha-acyclic, width 1)."""
+    if length < 1:
+        raise HypergraphError("chain length must be >= 1")
+    if not 1 <= overlap < arity:
+        raise HypergraphError("overlap must satisfy 1 <= overlap < arity")
+    edges = {}
+    step = arity - overlap
+    for i in range(length):
+        start = i * step
+        edges[f"C{i + 1}"] = [f"x{start + j}" for j in range(arity)]
+    return Hypergraph(edges, name=name or f"chain-{length}")
+
+
+def snowflake_query(branches: int, branch_length: int = 2, name: str = "") -> Hypergraph:
+    """A snowflake/star-of-chains schema (alpha-acyclic, width 1).
+
+    A central fact atom joins with ``branches`` dimension chains of
+    ``branch_length`` atoms each, modelling data-warehouse style queries.
+    """
+    if branches < 1 or branch_length < 1:
+        raise HypergraphError("branches and branch_length must be >= 1")
+    centre_vars = [f"d{i + 1}" for i in range(branches)]
+    edges: dict[str, list[str]] = {"Fact": ["id"] + centre_vars}
+    for b in range(branches):
+        previous = f"d{b + 1}"
+        for j in range(branch_length):
+            var = f"d{b + 1}_{j + 1}"
+            edges[f"Dim{b + 1}_{j + 1}"] = [previous, var]
+            previous = var
+    return Hypergraph(edges, name=name or f"snowflake-{branches}x{branch_length}")
+
+
+def grid(rows: int, cols: int, name: str = "") -> Hypergraph:
+    """A grid of binary edges between horizontally/vertically adjacent cells.
+
+    Grids are the classic family of unbounded (hyper)tree width: the
+    ``n x n`` grid has treewidth ``n`` and hypertree width ``Θ(n)``.
+    """
+    if rows < 1 or cols < 1:
+        raise HypergraphError("grid dimensions must be >= 1")
+    edges = {}
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges[f"H{r}_{c}"] = [f"v{r}_{c}", f"v{r}_{c + 1}"]
+            if r + 1 < rows:
+                edges[f"V{r}_{c}"] = [f"v{r}_{c}", f"v{r + 1}_{c}"]
+    if not edges:
+        edges["H0_0"] = [f"v0_0", f"v0_0b"]
+    return Hypergraph(edges, name=name or f"grid-{rows}x{cols}")
+
+
+def clique(size: int, name: str = "") -> Hypergraph:
+    """The clique K_n as a hypergraph of binary edges (hw = ceil(n/2) for n >= 2)."""
+    if size < 2:
+        raise HypergraphError("clique size must be >= 2")
+    edges = {}
+    for i in range(size):
+        for j in range(i + 1, size):
+            edges[f"E{i}_{j}"] = [f"x{i}", f"x{j}"]
+    return Hypergraph(edges, name=name or f"clique-{size}")
+
+
+def triangle_cascade(count: int, name: str = "") -> Hypergraph:
+    """``count`` triangles glued along shared vertices in a chain (width 2)."""
+    if count < 1:
+        raise HypergraphError("count must be >= 1")
+    edges = {}
+    for i in range(count):
+        a, b, c = f"t{i}", f"t{i + 1}", f"m{i}"
+        edges[f"A{i}"] = [a, b]
+        edges[f"B{i}"] = [b, c]
+        edges[f"C{i}"] = [c, a]
+    return Hypergraph(edges, name=name or f"triangles-{count}")
+
+
+def hypercycle(length: int, arity: int, name: str = "") -> Hypergraph:
+    """A cycle of ``length`` edges of the given arity, consecutive edges
+    overlapping in one vertex."""
+    if length < 3:
+        raise HypergraphError("hypercycle length must be >= 3")
+    if arity < 2:
+        raise HypergraphError("arity must be >= 2")
+    total = length * (arity - 1)
+    edges = {}
+    for i in range(length):
+        start = i * (arity - 1)
+        vertices = [f"x{(start + j) % total}" for j in range(arity)]
+        edges[f"R{i + 1}"] = vertices
+    return Hypergraph(edges, name=name or f"hypercycle-{length}x{arity}")
+
+
+def with_chords(base: Hypergraph, chords: int, seed: int = 0, name: str = "") -> Hypergraph:
+    """Add ``chords`` random binary edges between existing vertices of ``base``."""
+    rng = random.Random(seed)
+    vertices = sorted(base.vertices)
+    if len(vertices) < 2:
+        raise HypergraphError("need at least two vertices to add chords")
+    edges = {k: list(v) for k, v in base.edges_as_dict().items()}
+    existing = {frozenset(v) for v in base.edges_as_dict().values()}
+    added = 0
+    attempts = 0
+    while added < chords and attempts < 100 * max(chords, 1):
+        attempts += 1
+        u, v = rng.sample(vertices, 2)
+        key = frozenset((u, v))
+        if key in existing:
+            continue
+        existing.add(key)
+        edges[f"chord{added}"] = [u, v]
+        added += 1
+    return Hypergraph(edges, name=name or f"{base.name}+{added}chords")
+
+
+def random_csp(
+    num_variables: int,
+    num_constraints: int,
+    arity: int = 3,
+    seed: int = 0,
+    name: str = "",
+) -> Hypergraph:
+    """A random CSP hypergraph: ``num_constraints`` scopes of the given arity
+    drawn uniformly (without replacement within a scope) over the variables."""
+    if num_variables < arity:
+        raise HypergraphError("need at least `arity` variables")
+    if num_constraints < 1:
+        raise HypergraphError("need at least one constraint")
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(num_variables)]
+    edges: dict[str, list[str]] = {}
+    for c in range(num_constraints):
+        scope = rng.sample(variables, arity)
+        edges[f"c{c}"] = scope
+    return Hypergraph(edges, name=name or f"csp-{num_variables}-{num_constraints}-s{seed}")
+
+
+def random_query(
+    num_atoms: int,
+    num_variables: int,
+    min_arity: int = 2,
+    max_arity: int = 4,
+    seed: int = 0,
+    acyclic_bias: float = 0.5,
+    name: str = "",
+) -> Hypergraph:
+    """A random "application-style" query hypergraph.
+
+    Atoms reuse variables from previously generated atoms with probability
+    ``acyclic_bias`` (which keeps the structure join-tree-like and the width
+    low), and introduce fresh combinations otherwise.
+    """
+    if num_atoms < 1 or num_variables < max_arity:
+        raise HypergraphError("invalid query dimensions")
+    if not 0.0 <= acyclic_bias <= 1.0:
+        raise HypergraphError("acyclic_bias must be in [0, 1]")
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(num_variables)]
+    edges: dict[str, list[str]] = {}
+    used: list[str] = []
+    for a in range(num_atoms):
+        arity = rng.randint(min_arity, max_arity)
+        scope: list[str] = []
+        for _ in range(arity):
+            if used and rng.random() < acyclic_bias:
+                candidate = rng.choice(used)
+            else:
+                candidate = rng.choice(variables)
+            if candidate not in scope:
+                scope.append(candidate)
+        while len(scope) < min_arity:
+            candidate = rng.choice(variables)
+            if candidate not in scope:
+                scope.append(candidate)
+        edges[f"q{a}"] = scope
+        used.extend(v for v in scope if v not in used)
+    return Hypergraph(edges, name=name or f"query-{num_atoms}-s{seed}")
+
+
+def family(name: str, sizes: Sequence[int]) -> list[Hypergraph]:
+    """Convenience: build a named family (``cycle``, ``path``, ``clique``, ...)
+    at several sizes, mostly used by the recursion-depth benchmark."""
+    builders = {
+        "cycle": cycle,
+        "path": path,
+        "clique": clique,
+        "triangles": triangle_cascade,
+    }
+    if name not in builders:
+        raise HypergraphError(f"unknown family {name!r}")
+    return [builders[name](size) for size in sizes]

@@ -1,0 +1,230 @@
+"""Core hypergraph data structure.
+
+A :class:`Hypergraph` is an immutable collection of named, non-empty hyperedges
+over named vertices.  Following the paper (Section 2), a hypergraph is
+identified with its set of edges; the vertex set is the union of the edges and
+isolated vertices are not representable.
+
+Internally every vertex receives an integer id and every edge is stored both as
+a frozenset of vertex names and as an integer bitmask over vertex ids (see
+:mod:`repro.hypergraph.bitset`).  The decomposition algorithms work exclusively
+on edge indices and vertex bitmasks; the name-based views exist for users, IO
+and validation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import HypergraphError
+from . import bitset
+
+__all__ = ["Hypergraph"]
+
+Vertex = str
+
+
+class Hypergraph:
+    """An immutable hypergraph with named vertices and named edges.
+
+    Parameters
+    ----------
+    edges:
+        Either a mapping from edge names to iterables of vertex names, or an
+        iterable of iterables of vertex names (in which case edges are named
+        ``e0, e1, ...`` in iteration order).
+    name:
+        Optional instance name (used by the benchmark corpus and IO).
+
+    Raises
+    ------
+    HypergraphError
+        If an edge is empty or a duplicate edge name is supplied.
+    """
+
+    __slots__ = (
+        "name",
+        "_edge_names",
+        "_edge_sets",
+        "_edge_bits",
+        "_edge_index",
+        "_vertex_names",
+        "_vertex_index",
+        "_all_vertices_mask",
+    )
+
+    def __init__(
+        self,
+        edges: Mapping[str, Iterable[Vertex]] | Iterable[Iterable[Vertex]],
+        name: str = "",
+    ) -> None:
+        self.name = name
+        if isinstance(edges, Mapping):
+            named = list(edges.items())
+        else:
+            named = [(f"e{i}", vs) for i, vs in enumerate(edges)]
+
+        self._edge_names: list[str] = []
+        self._edge_sets: list[frozenset[Vertex]] = []
+        self._edge_index: dict[str, int] = {}
+        self._vertex_names: list[Vertex] = []
+        self._vertex_index: dict[Vertex, int] = {}
+
+        for edge_name, vertices in named:
+            vertex_set = frozenset(vertices)
+            if not vertex_set:
+                raise HypergraphError(f"edge {edge_name!r} is empty")
+            if edge_name in self._edge_index:
+                raise HypergraphError(f"duplicate edge name {edge_name!r}")
+            self._edge_index[edge_name] = len(self._edge_names)
+            self._edge_names.append(edge_name)
+            self._edge_sets.append(vertex_set)
+            for vertex in sorted(vertex_set):
+                if vertex not in self._vertex_index:
+                    self._vertex_index[vertex] = len(self._vertex_names)
+                    self._vertex_names.append(vertex)
+
+        self._edge_bits: list[int] = [
+            bitset.from_indices(self._vertex_index[v] for v in edge)
+            for edge in self._edge_sets
+        ]
+        self._all_vertices_mask = bitset.from_indices(range(len(self._vertex_names)))
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges."""
+        return len(self._edge_names)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (union of all edges)."""
+        return len(self._vertex_names)
+
+    @property
+    def edge_names(self) -> Sequence[str]:
+        """Edge names in index order."""
+        return tuple(self._edge_names)
+
+    @property
+    def vertex_names(self) -> Sequence[Vertex]:
+        """Vertex names in id order."""
+        return tuple(self._vertex_names)
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        """The vertex set as a frozenset of names."""
+        return frozenset(self._vertex_names)
+
+    @property
+    def all_vertices_mask(self) -> int:
+        """Bitmask containing every vertex of the hypergraph."""
+        return self._all_vertices_mask
+
+    def edge_name(self, index: int) -> str:
+        """Return the name of the edge with the given index."""
+        return self._edge_names[index]
+
+    def edge_index(self, name: str) -> int:
+        """Return the index of the edge with the given name."""
+        try:
+            return self._edge_index[name]
+        except KeyError:
+            raise HypergraphError(f"unknown edge {name!r}") from None
+
+    def edge_vertices(self, index: int) -> frozenset[Vertex]:
+        """Return the vertex names of the edge with the given index."""
+        return self._edge_sets[index]
+
+    def edge_bits(self, index: int) -> int:
+        """Return the vertex bitmask of the edge with the given index."""
+        return self._edge_bits[index]
+
+    def edges_as_dict(self) -> dict[str, frozenset[Vertex]]:
+        """Return a name → vertex-set mapping of all edges."""
+        return dict(zip(self._edge_names, self._edge_sets))
+
+    def vertex_id(self, vertex: Vertex) -> int:
+        """Return the integer id of a vertex name."""
+        try:
+            return self._vertex_index[vertex]
+        except KeyError:
+            raise HypergraphError(f"unknown vertex {vertex!r}") from None
+
+    def vertex_of_id(self, vertex_id: int) -> Vertex:
+        """Return the vertex name for an integer id."""
+        return self._vertex_names[vertex_id]
+
+    def vertices_to_mask(self, vertices: Iterable[Vertex]) -> int:
+        """Convert an iterable of vertex names to a bitmask."""
+        return bitset.from_indices(self._vertex_index[v] for v in vertices)
+
+    def mask_to_vertices(self, mask: int) -> frozenset[Vertex]:
+        """Convert a vertex bitmask back to a frozenset of names."""
+        return frozenset(self._vertex_names[i] for i in bitset.bits_of(mask))
+
+    def edges_to_mask(self, edge_indices: Iterable[int]) -> int:
+        """Union of the vertex bitmasks of the given edge indices."""
+        mask = 0
+        for index in edge_indices:
+            mask |= self._edge_bits[index]
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # derived structures
+    # ------------------------------------------------------------------ #
+    def edges_containing(self, vertex: Vertex) -> list[int]:
+        """Indices of all edges containing the given vertex."""
+        vid = self.vertex_id(vertex)
+        mask = 1 << vid
+        return [i for i, bits in enumerate(self._edge_bits) if bits & mask]
+
+    def subhypergraph(self, edge_indices: Iterable[int], name: str = "") -> "Hypergraph":
+        """Return the subhypergraph induced by the given edge indices."""
+        indices = sorted(set(edge_indices))
+        return Hypergraph(
+            {self._edge_names[i]: self._edge_sets[i] for i in indices},
+            name=name or (f"{self.name}-sub" if self.name else ""),
+        )
+
+    def primal_graph_edges(self) -> set[tuple[Vertex, Vertex]]:
+        """Pairs of distinct vertices that co-occur in some edge (primal graph)."""
+        pairs: set[tuple[Vertex, Vertex]] = set()
+        for edge in self._edge_sets:
+            ordered = sorted(edge)
+            for i, u in enumerate(ordered):
+                for v in ordered[i + 1:]:
+                    pairs.add((u, v))
+        return pairs
+
+    def rename(self, name: str) -> "Hypergraph":
+        """Return a copy of this hypergraph carrying a different name."""
+        return Hypergraph(self.edges_as_dict(), name=name)
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._edge_names)
+
+    def __contains__(self, edge_name: object) -> bool:
+        return edge_name in self._edge_index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self.edges_as_dict() == other.edges_as_dict()
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.edges_as_dict().items()))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Hypergraph{label} |V|={self.num_vertices} |E|={self.num_edges}>"
+        )

@@ -1,0 +1,178 @@
+"""Parsing and serialisation of hypergraphs.
+
+Two textual formats are supported:
+
+* **HyperBench format** (the format used by the HyperBench benchmark and the
+  det-k-decomp / log-k-decomp tools): one edge per statement of the form
+  ``name(v1,v2,...),`` with the last statement terminated by a period instead
+  of a comma.  Lines starting with ``%`` or ``#`` are comments.  Whitespace is
+  ignored.  Example::
+
+      r1(x1,x2),
+      r2(x2,x3),
+      r3(x3,x1).
+
+* **PACE-style format**: a header line ``p htd <num_vertices> <num_edges>``
+  followed by one line per edge listing vertex numbers; the edge written on
+  line ``i`` (after the header) is named ``e<i>``.
+
+The parser auto-detects the format.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..exceptions import ParseError
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "parse_hypergraph",
+    "read_hypergraph",
+    "write_hypergraph",
+    "to_hyperbench_format",
+    "to_pace_format",
+]
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z0-9_\-.:]+)\s*\(([^()]*)\)\s*")
+
+
+def parse_hypergraph(text: str, name: str = "") -> Hypergraph:
+    """Parse hypergraph ``text`` in HyperBench or PACE format."""
+    stripped = _strip_comments(text)
+    if not stripped.strip():
+        raise ParseError("empty hypergraph description")
+    if re.search(r"^\s*p\s+htd\b", stripped, flags=re.MULTILINE):
+        return _parse_pace(stripped, name)
+    return _parse_hyperbench(stripped, name)
+
+
+def read_hypergraph(path: str | Path) -> Hypergraph:
+    """Read and parse a hypergraph file, using the file stem as its name."""
+    path = Path(path)
+    return parse_hypergraph(path.read_text(), name=path.stem)
+
+
+def write_hypergraph(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write ``hypergraph`` to ``path`` in HyperBench format."""
+    Path(path).write_text(to_hyperbench_format(hypergraph))
+
+
+def to_hyperbench_format(hypergraph: Hypergraph) -> str:
+    """Serialise a hypergraph in the HyperBench edge-list format."""
+    lines = []
+    last = hypergraph.num_edges - 1
+    for index in range(hypergraph.num_edges):
+        vertices = ",".join(sorted(hypergraph.edge_vertices(index)))
+        terminator = "." if index == last else ","
+        lines.append(f"{hypergraph.edge_name(index)}({vertices}){terminator}")
+    return "\n".join(lines) + "\n"
+
+
+def to_pace_format(hypergraph: Hypergraph) -> str:
+    """Serialise a hypergraph in the PACE-style numeric format."""
+    lines = [f"p htd {hypergraph.num_vertices} {hypergraph.num_edges}"]
+    for index in range(hypergraph.num_edges):
+        ids = sorted(
+            hypergraph.vertex_id(v) + 1 for v in hypergraph.edge_vertices(index)
+        )
+        lines.append(" ".join(str(i) for i in ids))
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# internals
+# --------------------------------------------------------------------------- #
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("%") or stripped.startswith("#"):
+            continue
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _parse_hyperbench(text: str, name: str) -> Hypergraph:
+    edges: dict[str, list[str]] = {}
+    position = 0
+    body = text.strip()
+    if body.endswith("."):
+        body = body[:-1]
+    statements = _split_top_level(body)
+    for statement in statements:
+        statement = statement.strip()
+        if not statement:
+            continue
+        match = _ATOM_RE.fullmatch(statement)
+        if match is None:
+            raise ParseError(f"cannot parse edge statement {statement!r}")
+        edge_name, vertex_part = match.group(1), match.group(2)
+        vertices = [v.strip() for v in vertex_part.split(",") if v.strip()]
+        if not vertices:
+            raise ParseError(f"edge {edge_name!r} has no vertices")
+        base = edge_name
+        while edge_name in edges:
+            position += 1
+            edge_name = f"{base}_{position}"
+        edges[edge_name] = vertices
+    if not edges:
+        raise ParseError("no edges found in hypergraph description")
+    return Hypergraph(edges, name=name)
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split on commas that are not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced parentheses in hypergraph description")
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError("unbalanced parentheses in hypergraph description")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_pace(text: str, name: str) -> Hypergraph:
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    header_index = next(
+        (i for i, line in enumerate(lines) if line.startswith("p htd")), None
+    )
+    if header_index is None:
+        raise ParseError("missing 'p htd' header")
+    header = lines[header_index].split()
+    if len(header) != 4:
+        raise ParseError(f"malformed PACE header {lines[header_index]!r}")
+    try:
+        num_vertices, num_edges = int(header[2]), int(header[3])
+    except ValueError as exc:
+        raise ParseError(f"malformed PACE header {lines[header_index]!r}") from exc
+    edge_lines = lines[header_index + 1:]
+    if len(edge_lines) != num_edges:
+        raise ParseError(
+            f"expected {num_edges} edge lines, found {len(edge_lines)}"
+        )
+    edges: dict[str, list[str]] = {}
+    for i, line in enumerate(edge_lines, start=1):
+        try:
+            ids = [int(token) for token in line.split()]
+        except ValueError as exc:
+            raise ParseError(f"malformed edge line {line!r}") from exc
+        if not ids:
+            raise ParseError(f"edge e{i} has no vertices")
+        if any(v < 1 or v > num_vertices for v in ids):
+            raise ParseError(f"vertex id out of range in edge line {line!r}")
+        edges[f"e{i}"] = [f"v{v}" for v in ids]
+    return Hypergraph(edges, name=name)

@@ -1,0 +1,32 @@
+"""Database application substrate: relations, joins, Yannakakis, CQ/CSP evaluation."""
+
+from .relation import Relation
+from .database import Database, random_database_for_query
+from .joins import atom_relation, join_all, naive_join_query
+from .yannakakis import AnnotatedNode, full_reduce, yannakakis
+from .cq_eval import EvaluationReport, evaluate_query, materialise_bags
+from .csp import (
+    CSPSolution,
+    DecompositionCSPSolver,
+    backtracking_solve,
+    csp_to_query,
+)
+
+__all__ = [
+    "Relation",
+    "Database",
+    "random_database_for_query",
+    "atom_relation",
+    "join_all",
+    "naive_join_query",
+    "AnnotatedNode",
+    "full_reduce",
+    "yannakakis",
+    "EvaluationReport",
+    "evaluate_query",
+    "materialise_bags",
+    "CSPSolution",
+    "DecompositionCSPSolver",
+    "backtracking_solve",
+    "csp_to_query",
+]

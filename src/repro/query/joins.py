@@ -1,0 +1,75 @@
+"""Join helpers bridging atoms, relations and variable-named schemas.
+
+Relations in a :class:`~repro.query.database.Database` carry positional
+schemas (``a0, a1, ...``); conjunctive-query atoms bind those positions to
+variables (possibly repeating a variable or — not supported here — using
+constants).  :func:`atom_relation` performs that binding: it renames
+attributes to variable names, enforces equality for repeated variables and
+projects to the distinct variables, which is the representation the
+decomposition-guided evaluation works with throughout.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from collections.abc import Iterable, Sequence
+
+from ..exceptions import QueryError
+from ..hypergraph.cq import Atom
+from .database import Database
+from .relation import Relation
+
+__all__ = ["atom_relation", "join_all", "naive_join_query"]
+
+
+def atom_relation(database: Database, atom: Atom) -> Relation:
+    """The relation of ``atom`` with its schema renamed to the atom's variables."""
+    base = database.get(atom.relation)
+    if len(base.schema) != len(atom.arguments):
+        raise QueryError(
+            f"atom {atom} has arity {len(atom.arguments)} but relation "
+            f"{atom.relation!r} has arity {len(base.schema)}"
+        )
+    variables = list(atom.arguments)
+    distinct = list(dict.fromkeys(variables))
+    rows = set()
+    for row in base.tuples:
+        binding: dict[str, object] = {}
+        consistent = True
+        for variable, value in zip(variables, row):
+            if variable in binding and binding[variable] != value:
+                consistent = False
+                break
+            binding[variable] = value
+        if consistent:
+            rows.add(tuple(binding[v] for v in distinct))
+    return Relation(f"{atom.relation}[{','.join(variables)}]", distinct, rows)
+
+
+def join_all(relations: Sequence[Relation], name: str = "join") -> Relation:
+    """Natural join of a non-empty sequence of relations (left to right)."""
+    if not relations:
+        raise QueryError("cannot join an empty sequence of relations")
+    return reduce(lambda left, right: left.natural_join(right), relations).rename({}, name=name)
+
+
+def naive_join_query(
+    database: Database,
+    atoms: Iterable[Atom],
+    output_variables: Sequence[str] | None = None,
+) -> Relation:
+    """Reference CQ evaluation: join all atom relations, then project.
+
+    Exponential in general — used as the ground-truth oracle the HD-guided
+    evaluator is tested against.
+    """
+    relations = [atom_relation(database, atom) for atom in atoms]
+    joined = join_all(relations, name="naive")
+    if output_variables is None:
+        return joined
+    if not output_variables:
+        # Boolean query: project onto the empty schema (a 0-ary relation that is
+        # non-empty iff the query holds).
+        rows = {()} if len(joined) else set()
+        return Relation("naive", (), rows)
+    return joined.project(list(output_variables), name="naive")

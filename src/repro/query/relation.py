@@ -1,0 +1,147 @@
+"""In-memory relations for the query-evaluation substrate.
+
+The paper motivates hypertree decompositions with conjunctive query
+evaluation: a width-k HD reduces a CQ to an acyclic instance which
+Yannakakis' algorithm evaluates in polynomial time.  To demonstrate (and
+test) that pipeline end to end, this module provides a small relational
+layer: a :class:`Relation` is a named set of tuples over a schema of
+attribute names, supporting projection, selection, natural join and
+semijoin — everything the Yannakakis implementation needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..exceptions import QueryError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named relation: a schema (attribute names) plus a set of tuples."""
+
+    __slots__ = ("name", "schema", "tuples")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        tuples: Iterable[Sequence[object]] = (),
+    ) -> None:
+        self.name = name
+        self.schema = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise QueryError(f"relation {name!r} has duplicate attributes")
+        rows: set[tuple[object, ...]] = set()
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != len(self.schema):
+                raise QueryError(
+                    f"relation {name!r}: tuple {row!r} does not match the "
+                    f"{len(self.schema)}-attribute schema"
+                )
+            rows.add(row)
+        self.tuples = rows
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self.tuples  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.as_dicts() == other.as_dicts()
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.name!r}({', '.join(self.schema)}) |{len(self)}| >"
+
+    def as_dicts(self) -> set[frozenset[tuple[str, object]]]:
+        """The tuples as attribute → value mappings (order independent)."""
+        return {
+            frozenset(zip(self.schema, row)) for row in self.tuples
+        }
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema."""
+        try:
+            return self.schema.index(attribute)
+        except ValueError:
+            raise QueryError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # relational operators
+    # ------------------------------------------------------------------ #
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection onto the given attributes (duplicates removed)."""
+        positions = [self.attribute_index(a) for a in attributes]
+        rows = {tuple(row[p] for p in positions) for row in self.tuples}
+        return Relation(name or f"π({self.name})", attributes, rows)
+
+    def select_equal(self, attribute: str, value: object, name: str | None = None) -> "Relation":
+        """Selection σ_{attribute = value}."""
+        position = self.attribute_index(attribute)
+        rows = {row for row in self.tuples if row[position] == value}
+        return Relation(name or f"σ({self.name})", self.schema, rows)
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
+        """Rename attributes according to ``mapping`` (missing keys unchanged)."""
+        schema = tuple(mapping.get(a, a) for a in self.schema)
+        return Relation(name or self.name, schema, self.tuples)
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on the shared attributes (hash join)."""
+        shared = [a for a in self.schema if a in other.schema]
+        own_extra = [a for a in self.schema if a not in shared]
+        other_extra = [a for a in other.schema if a not in shared]
+        schema = tuple(shared + own_extra + other_extra)
+
+        own_shared_pos = [self.attribute_index(a) for a in shared]
+        own_extra_pos = [self.attribute_index(a) for a in own_extra]
+        other_shared_pos = [other.attribute_index(a) for a in shared]
+        other_extra_pos = [other.attribute_index(a) for a in other_extra]
+
+        index: dict[tuple, list[tuple]] = {}
+        for row in other.tuples:
+            key = tuple(row[p] for p in other_shared_pos)
+            index.setdefault(key, []).append(tuple(row[p] for p in other_extra_pos))
+
+        rows: set[tuple[object, ...]] = set()
+        for row in self.tuples:
+            key = tuple(row[p] for p in own_shared_pos)
+            for extra in index.get(key, ()):
+                rows.add(key + tuple(row[p] for p in own_extra_pos) + extra)
+        return Relation(name or f"({self.name}⋈{other.name})", schema, rows)
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Semijoin: keep the tuples that join with at least one tuple of ``other``."""
+        shared = [a for a in self.schema if a in other.schema]
+        if not shared:
+            rows = self.tuples if len(other) else set()
+            return Relation(name or self.name, self.schema, rows)
+        own_pos = [self.attribute_index(a) for a in shared]
+        other_pos = [other.attribute_index(a) for a in shared]
+        keys = {tuple(row[p] for p in other_pos) for row in other.tuples}
+        rows = {row for row in self.tuples if tuple(row[p] for p in own_pos) in keys}
+        return Relation(name or self.name, self.schema, rows)
+
+    def is_empty(self) -> bool:
+        """True iff the relation has no tuples."""
+        return not self.tuples
+
+    @classmethod
+    def from_dicts(
+        cls, name: str, schema: Sequence[str], rows: Iterable[dict[str, object]]
+    ) -> "Relation":
+        """Build a relation from attribute → value dictionaries."""
+        return cls(name, schema, [tuple(row[a] for a in schema) for row in rows])

@@ -1,0 +1,65 @@
+"""Unit tests for the bitset helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.hypergraph import bitset
+
+
+def test_singleton():
+    assert bitset.singleton(0) == 1
+    assert bitset.singleton(3) == 8
+
+
+def test_from_indices_and_back():
+    mask = bitset.from_indices([0, 2, 5])
+    assert mask == 0b100101
+    assert bitset.indices_of(mask) == [0, 2, 5]
+
+
+def test_from_indices_empty():
+    assert bitset.from_indices([]) == 0
+    assert bitset.indices_of(0) == []
+
+
+def test_bits_of_order():
+    assert list(bitset.bits_of(0b1011)) == [0, 1, 3]
+
+
+def test_popcount():
+    assert bitset.popcount(0) == 0
+    assert bitset.popcount(0b1011) == 3
+
+
+def test_is_subset():
+    assert bitset.is_subset(0b0010, 0b0110)
+    assert bitset.is_subset(0, 0b0110)
+    assert not bitset.is_subset(0b1000, 0b0110)
+    assert bitset.is_subset(0b0110, 0b0110)
+
+
+def test_intersects():
+    assert bitset.intersects(0b011, 0b110)
+    assert not bitset.intersects(0b001, 0b110)
+    assert not bitset.intersects(0, 0b111)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_roundtrip_property(indices):
+    mask = bitset.from_indices(indices)
+    assert set(bitset.indices_of(mask)) == indices
+    assert bitset.popcount(mask) == len(indices)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=100)),
+    st.sets(st.integers(min_value=0, max_value=100)),
+)
+def test_set_operations_match_python_sets(a, b):
+    ma, mb = bitset.from_indices(a), bitset.from_indices(b)
+    assert set(bitset.indices_of(ma | mb)) == a | b
+    assert set(bitset.indices_of(ma & mb)) == a & b
+    assert set(bitset.indices_of(ma & ~mb)) == a - b
+    assert bitset.is_subset(ma, mb) == (a <= b)
+    assert bitset.intersects(ma, mb) == bool(a & b)

@@ -1,0 +1,46 @@
+"""Unit tests for the repro-bench command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def test_depth_experiment(capsys):
+    exit_code = main(["depth", "--quiet"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Recursion depth" in out
+    assert "log-k-decomp" in out
+
+
+def test_table1_on_tiny_corpus(capsys):
+    exit_code = main(
+        ["table1", "--scale", "tiny", "--budget", "0.5", "--max-width", "3", "--quiet"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Total" in out
+
+
+def test_table5_on_tiny_corpus(capsys):
+    exit_code = main(
+        ["table5", "--scale", "tiny", "--budget", "0.3", "--max-width", "2", "--quiet"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_progress_goes_to_stderr(capsys):
+    main(["table4", "--scale", "tiny", "--budget", "0.3", "--max-width", "2"])
+    captured = capsys.readouterr()
+    assert "Table 4" in captured.out
+    assert captured.err  # per-run progress lines

@@ -1,0 +1,89 @@
+"""Unit tests for the HyperBench-like corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import (
+    SIZE_GROUPS,
+    corpus_summary,
+    generate_corpus,
+    hb_large,
+    size_group,
+)
+from repro.exceptions import SolverError
+
+
+def test_size_groups():
+    assert size_group(5) == "|E| <= 10"
+    assert size_group(10) == "|E| <= 10"
+    assert size_group(11) == "10 < |E| <= 50"
+    assert size_group(50) == "10 < |E| <= 50"
+    assert size_group(60) == "50 < |E| <= 75"
+    assert size_group(80) == "75 < |E| <= 100"
+    assert size_group(101) == "|E| > 100"
+    assert set(SIZE_GROUPS) == {
+        "|E| <= 10",
+        "10 < |E| <= 50",
+        "50 < |E| <= 75",
+        "75 < |E| <= 100",
+        "|E| > 100",
+    }
+
+
+def test_generate_corpus_is_deterministic():
+    a = generate_corpus("tiny", seed=1)
+    b = generate_corpus("tiny", seed=1)
+    assert [i.name for i in a] == [i.name for i in b]
+    assert all(x.hypergraph == y.hypergraph for x, y in zip(a, b))
+
+
+def test_generate_corpus_unknown_scale():
+    with pytest.raises(SolverError):
+        generate_corpus("gigantic")
+
+
+@pytest.mark.parametrize("scale", ["tiny", "small"])
+def test_corpus_covers_both_origins_and_many_groups(scale):
+    instances = generate_corpus(scale)
+    origins = {i.origin for i in instances}
+    assert origins == {"Application", "Synthetic"}
+    groups = {i.group for i in instances}
+    assert "|E| <= 10" in groups
+    assert any(g.startswith("50 <") for g in groups)
+    # The |E| > 100 group only occurs for synthetic instances, as in the paper.
+    for instance in instances:
+        if instance.group == "|E| > 100":
+            assert instance.origin == "Synthetic"
+
+
+def test_corpus_names_are_unique():
+    instances = generate_corpus("small")
+    names = [i.name for i in instances]
+    assert len(names) == len(set(names))
+
+
+def test_instance_properties():
+    instance = generate_corpus("tiny")[0]
+    assert instance.num_edges == instance.hypergraph.num_edges
+    assert instance.num_vertices == instance.hypergraph.num_vertices
+    assert instance.group == size_group(instance.num_edges)
+
+
+def test_corpus_summary_counts_everything():
+    instances = generate_corpus("tiny")
+    summary = corpus_summary(instances)
+    assert sum(summary.values()) == len(instances)
+
+
+def test_hb_large_filter():
+    instances = generate_corpus("tiny")
+    large = hb_large(instances, min_edges=20)
+    assert all(i.num_edges > 20 for i in large)
+    assert len(large) < len(instances)
+
+
+def test_medium_scale_is_larger_than_small():
+    assert len(generate_corpus("medium")) > len(generate_corpus("small")) > len(
+        generate_corpus("tiny")
+    )

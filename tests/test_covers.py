@@ -1,0 +1,124 @@
+"""Unit tests for λ-label enumeration (CoverEnumerator)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.decomp.covers import CoverEnumerator, count_labels, label_union
+from repro.hypergraph import Hypergraph, generators
+
+
+@pytest.fixture
+def host() -> Hypergraph:
+    return generators.cycle(5)
+
+
+def test_rejects_bad_width(host):
+    with pytest.raises(ValueError):
+        CoverEnumerator(host, 0)
+
+
+def test_enumerates_all_labels_up_to_k(host):
+    enumerator = CoverEnumerator(host, 2)
+    labels = list(enumerator.labels())
+    expected = {(i,) for i in range(5)} | set(combinations(range(5), 2))
+    assert set(labels) == expected
+    assert len(labels) == len(expected)
+
+
+def test_labels_are_sorted_and_deterministic(host):
+    enumerator = CoverEnumerator(host, 2)
+    labels = list(enumerator.labels())
+    assert labels == list(CoverEnumerator(host, 2).labels())
+    assert all(tuple(sorted(label)) == label for label in labels)
+    # Size-1 labels come before size-2 labels.
+    sizes = [len(label) for label in labels]
+    assert sizes == sorted(sizes)
+
+
+def test_allowed_restriction(host):
+    enumerator = CoverEnumerator(host, 2)
+    labels = list(enumerator.labels(allowed=[1, 3]))
+    assert set(labels) == {(1,), (3,), (1, 3)}
+
+
+def test_require_from_restriction(host):
+    enumerator = CoverEnumerator(host, 2)
+    labels = list(enumerator.labels(require_from=frozenset({4})))
+    assert all(4 in label for label in labels) is False or labels  # non-empty
+    assert all(any(e == 4 for e in label) for label in labels)
+
+
+def test_require_from_disjoint_pool_yields_nothing(host):
+    enumerator = CoverEnumerator(host, 2)
+    assert list(enumerator.labels(allowed=[0, 1], require_from=frozenset({4}))) == []
+
+
+def test_overlap_with_restriction(host):
+    enumerator = CoverEnumerator(host, 1)
+    overlap = host.edge_bits(0)  # vertices x1, x2
+    labels = list(enumerator.labels(overlap_with=overlap))
+    # Only edges sharing x1 or x2 qualify: R1 itself, R2 (x2,x3), R5 (x5,x1).
+    names = {host.edge_name(label[0]) for label in labels}
+    assert names == {"R1", "R2", "R5"}
+
+
+def test_cover_requirement(host):
+    enumerator = CoverEnumerator(host, 2)
+    conn = host.vertices_to_mask(["x1", "x3"])
+    labels = list(enumerator.labels(cover=conn))
+    assert labels
+    for label in labels:
+        assert conn & ~label_union(host, label) == 0
+
+
+def test_cover_requirement_impossible():
+    host = Hypergraph({"a": ["x", "y"], "b": ["y", "z"]})
+    enumerator = CoverEnumerator(host, 1)
+    # No single edge covers {x, z}.
+    conn = host.vertices_to_mask(["x", "z"])
+    assert list(enumerator.labels(cover=conn)) == []
+
+
+def test_max_size_override(host):
+    enumerator = CoverEnumerator(host, 3)
+    labels = list(enumerator.labels(max_size=1))
+    assert all(len(label) == 1 for label in labels)
+
+
+def test_labels_with_union(host):
+    enumerator = CoverEnumerator(host, 1)
+    for label, union in enumerator.labels_with_union():
+        assert union == label_union(host, label)
+
+
+def test_partition_covers_pool(host):
+    enumerator = CoverEnumerator(host, 2)
+    parts = enumerator.partition_first_edges(None, 3)
+    assert sorted(e for part in parts for e in part) == list(range(5))
+    # Union of per-partition label streams equals the unpartitioned stream.
+    union: set[tuple[int, ...]] = set()
+    for part in parts:
+        union |= set(enumerator.labels_for_partition(None, part))
+    assert union == set(enumerator.labels())
+
+
+def test_partition_single_worker(host):
+    enumerator = CoverEnumerator(host, 2)
+    parts = enumerator.partition_first_edges(None, 1)
+    assert len(parts) == 1
+    assert set(enumerator.labels_for_partition(None, parts[0])) == set(enumerator.labels())
+
+
+def test_count_labels_matches_enumeration(host):
+    enumerator = CoverEnumerator(host, 2)
+    assert count_labels(5, 2) == len(list(enumerator.labels()))
+    assert count_labels(5, 1) == 5
+
+
+def test_label_union(host):
+    assert label_union(host, ()) == 0
+    assert label_union(host, (0,)) == host.edge_bits(0)
+    assert label_union(host, (0, 2)) == host.edge_bits(0) | host.edge_bits(2)

@@ -1,0 +1,90 @@
+"""Unit tests for HD-guided CSP solving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.hypergraph.cq import CSPInstance
+from repro.query.csp import DecompositionCSPSolver, backtracking_solve, csp_to_query
+
+
+def _cyclic_csp(satisfiable: bool = True) -> CSPInstance:
+    triples = ((0, 1), (1, 2), (2, 0))
+    last = triples if satisfiable else ((0, 0),)
+    return CSPInstance(
+        constraints=(
+            ("c1", ("x", "y"), triples),
+            ("c2", ("y", "z"), triples),
+            ("c3", ("z", "x"), last),
+        ),
+        name="cyclic",
+    )
+
+
+def test_csp_to_query_structure():
+    csp = _cyclic_csp()
+    query, database = csp_to_query(csp)
+    assert len(query.atoms) == 3
+    assert set(query.free_variables) == {"x", "y", "z"}
+    assert len(database) == 3
+
+
+def test_csp_to_query_requires_constraints():
+    with pytest.raises(QueryError):
+        csp_to_query(CSPInstance())
+
+
+def test_satisfiable_instance():
+    solution = DecompositionCSPSolver().solve(_cyclic_csp(True))
+    assert solution.satisfiable
+    assert solution.assignment is not None
+    assert solution.num_solutions_found == 3
+    assert solution.width == 2
+    # The witness must satisfy every constraint.
+    assignment = solution.assignment
+    for _, scope, tuples in _cyclic_csp(True).constraints:
+        assert tuple(assignment[v] for v in scope) in tuples
+
+
+def test_unsatisfiable_instance():
+    solution = DecompositionCSPSolver().solve(_cyclic_csp(False))
+    assert not solution.satisfiable
+    assert solution.assignment is None
+    assert solution.num_solutions_found == 0
+
+
+def test_agreement_with_backtracking():
+    for satisfiable in (True, False):
+        csp = _cyclic_csp(satisfiable)
+        hd_solution = DecompositionCSPSolver().solve(csp)
+        bt_solution = backtracking_solve(csp)
+        assert hd_solution.satisfiable == (bt_solution is not None)
+
+
+def test_backtracking_requires_constraints():
+    with pytest.raises(QueryError):
+        backtracking_solve(CSPInstance())
+
+
+def test_backtracking_respects_domains():
+    csp = CSPInstance(
+        domains={"x": (0, 1), "y": (1,)},
+        constraints=(("c", ("x", "y"), ((0, 1), (5, 5))),),
+    )
+    solution = backtracking_solve(csp)
+    assert solution == {"x": 0, "y": 1}
+
+
+def test_acyclic_csp_uses_width_one():
+    csp = CSPInstance(
+        constraints=(
+            ("c1", ("a", "b"), ((1, 2), (2, 3))),
+            ("c2", ("b", "c"), ((2, 5), (3, 6))),
+        ),
+        name="chain",
+    )
+    solution = DecompositionCSPSolver().solve(csp)
+    assert solution.satisfiable
+    assert solution.width == 1
+    assert solution.num_solutions_found == 2

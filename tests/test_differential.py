@@ -1,0 +1,86 @@
+"""Differential tests: all exact HD algorithms must agree with each other.
+
+Beyond the analytically known families, these tests generate small random
+hypergraphs and check that log-k-decomp (both variants), det-k-decomp, the
+hybrid and the optimal solver produce consistent answers, and that every
+produced decomposition passes the independent validator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DetKDecomposer,
+    HybridDecomposer,
+    LogKBasicDecomposer,
+    LogKDecomposer,
+    OptimalHDSolver,
+)
+from repro.decomp import validate_hd
+from repro.hypergraph import generators
+
+
+EXACT_DECOMPOSERS = {
+    "logk": LogKDecomposer,
+    "logk-basic": LogKBasicDecomposer,
+    "detk": DetKDecomposer,
+    "hybrid": lambda: HybridDecomposer(metric="EdgeCount", threshold=3),
+}
+
+
+def _answers(hypergraph, k):
+    results = {}
+    for name, factory in EXACT_DECOMPOSERS.items():
+        result = factory().decompose(hypergraph, k)
+        if result.success:
+            validate_hd(result.decomposition)
+            assert result.decomposition.width <= k
+        results[name] = result.success
+    return results
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_csp_instances_agree(seed):
+    hypergraph = generators.random_csp(7, 6, arity=3, seed=seed)
+    for k in (1, 2, 3):
+        answers = _answers(hypergraph, k)
+        assert len(set(answers.values())) == 1, (seed, k, answers)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_query_instances_agree(seed):
+    hypergraph = generators.random_query(8, 8, seed=seed, acyclic_bias=0.4)
+    for k in (1, 2):
+        answers = _answers(hypergraph, k)
+        assert len(set(answers.values())) == 1, (seed, k, answers)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_chorded_cycles_agree(seed):
+    base = generators.cycle(7)
+    hypergraph = generators.with_chords(base, 2, seed=seed)
+    for k in (1, 2, 3):
+        answers = _answers(hypergraph, k)
+        assert len(set(answers.values())) == 1, (seed, k, answers)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_optimal_solver_agrees_with_iterative_deepening(seed):
+    hypergraph = generators.random_csp(7, 6, arity=3, seed=100 + seed)
+    outcome = OptimalHDSolver(max_width=4).solve(hypergraph)
+    assert outcome.solved
+    validate_hd(outcome.decomposition)
+    # The parametrised algorithms must confirm the optimum.
+    assert LogKDecomposer().decompose(hypergraph, outcome.width).success
+    if outcome.width > 1:
+        assert not LogKDecomposer().decompose(hypergraph, outcome.width - 1).success
+        assert not DetKDecomposer().decompose(hypergraph, outcome.width - 1).success
+
+
+def test_monotonicity_in_k():
+    # If an HD of width k exists then HDs of every larger width exist as well.
+    hypergraph = generators.triangle_cascade(3)
+    results = [LogKDecomposer().decompose(hypergraph, k).success for k in (1, 2, 3, 4)]
+    first_success = results.index(True)
+    assert all(results[first_success:])

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    DecompositionError,
+    HypergraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SolverError,
+    TimeoutExceeded,
+    ValidationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        HypergraphError,
+        ParseError,
+        DecompositionError,
+        ValidationError,
+        SolverError,
+        TimeoutExceeded,
+        QueryError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_validation_error_is_decomposition_error():
+    assert issubclass(ValidationError, DecompositionError)
+
+
+def test_catching_base_class():
+    try:
+        raise ValidationError("boom")
+    except ReproError as caught:
+        assert "boom" in str(caught)

@@ -1,0 +1,146 @@
+"""Unit tests for extended subhypergraphs, Comp records and fragment nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomp.extended import Comp, ExtendedSubhypergraph, FragmentNode, full_comp
+from repro.exceptions import DecompositionError
+from repro.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def host() -> Hypergraph:
+    return Hypergraph(
+        {"a": ["x", "y"], "b": ["y", "z"], "c": ["z", "w"], "d": ["w", "x"]},
+        name="square",
+    )
+
+
+def test_full_comp(host):
+    comp = full_comp(host)
+    assert comp.edges == frozenset(range(4))
+    assert comp.specials == ()
+    assert comp.size == 4
+    assert not comp.is_empty
+
+
+def test_comp_specials_are_sorted():
+    comp = Comp(frozenset({0}), (5, 3, 9))
+    assert comp.specials == (3, 5, 9)
+
+
+def test_comp_with_special(host):
+    comp = full_comp(host)
+    extended = comp.with_special(0b11)
+    assert extended.specials == (0b11,)
+    assert extended.size == 5
+    # the original is unchanged (immutability)
+    assert comp.specials == ()
+
+
+def test_comp_difference(host):
+    comp = Comp(frozenset({0, 1, 2}), (0b1, 0b10))
+    other = Comp(frozenset({1}), (0b1,))
+    diff = comp.difference(other)
+    assert diff.edges == frozenset({0, 2})
+    assert diff.specials == (0b10,)
+
+
+def test_comp_difference_with_duplicate_specials():
+    comp = Comp(frozenset(), (0b1, 0b1))
+    diff = comp.difference(Comp(frozenset(), (0b1,)))
+    assert diff.specials == (0b1,)
+
+
+def test_comp_vertices(host):
+    comp = Comp(frozenset({0, 1}), (host.vertices_to_mask(["w"]),))
+    names = host.mask_to_vertices(comp.vertices(host))
+    assert names == {"x", "y", "z", "w"}
+
+
+def test_comp_hashable(host):
+    a = Comp(frozenset({0, 1}), (3,))
+    b = Comp(frozenset({1, 0}), (3,))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_extended_subhypergraph_whole(host):
+    ext = ExtendedSubhypergraph.whole(host)
+    assert ext.edges == frozenset(host.edge_names)
+    assert ext.size == 4
+    assert ext.vertices == host.vertices
+
+
+def test_extended_subhypergraph_roundtrip(host):
+    ext = ExtendedSubhypergraph(
+        host,
+        frozenset({"a", "b"}),
+        frozenset({frozenset({"w", "x"})}),
+        frozenset({"y"}),
+    )
+    comp = ext.to_comp()
+    assert comp.edges == {host.edge_index("a"), host.edge_index("b")}
+    assert len(comp.specials) == 1
+    back = ExtendedSubhypergraph.from_comp(host, comp, ext.conn_mask())
+    assert back.edges == ext.edges
+    assert back.specials == ext.specials
+    assert back.conn == ext.conn
+
+
+def test_extended_subhypergraph_validation(host):
+    with pytest.raises(DecompositionError):
+        ExtendedSubhypergraph(host, frozenset({"zz"}))
+    with pytest.raises(DecompositionError):
+        ExtendedSubhypergraph(host, frozenset({"a"}), frozenset({frozenset()}))
+    with pytest.raises(DecompositionError):
+        ExtendedSubhypergraph(host, frozenset({"a"}), conn=frozenset({"nope"}))
+    with pytest.raises(DecompositionError):
+        ExtendedSubhypergraph(
+            host, frozenset({"a"}), frozenset({frozenset({"unknown"})})
+        )
+
+
+def test_fragment_node_basics(host):
+    special = host.vertices_to_mask(["x", "y"])
+    leaf = FragmentNode(chi=special, special=special)
+    assert leaf.is_special_leaf
+    assert leaf.width == 1
+    node = FragmentNode(chi=host.edge_bits(0), lam_edges=(0,), children=[leaf])
+    assert not node.is_special_leaf
+    assert node.width == 1
+    assert len(list(node.nodes())) == 2
+    assert node.special_leaves() == [leaf]
+    assert node.max_width() == 1
+
+
+def test_fragment_node_invalid_combinations(host):
+    with pytest.raises(DecompositionError):
+        FragmentNode(chi=1, lam_edges=(0,), special=1)
+    with pytest.raises(DecompositionError):
+        FragmentNode(chi=3, special=1)
+
+
+def test_fragment_copy_is_deep(host):
+    leaf = FragmentNode(chi=1, special=1)
+    node = FragmentNode(chi=host.edge_bits(0), lam_edges=(0,), children=[leaf])
+    clone = node.copy()
+    clone.children[0].chi = 2
+    clone.children[0].special = 2
+    assert leaf.chi == 1
+
+
+def test_fragment_describe_mentions_edges(host):
+    node = FragmentNode(chi=host.edge_bits(0), lam_edges=(0,))
+    text = node.describe(host)
+    assert "a" in text
+    assert "χ" in text
+
+
+def test_fragment_lambda_union(host):
+    node = FragmentNode(chi=host.edge_bits(0), lam_edges=(0, 1))
+    assert node.lambda_union(host) == host.edge_bits(0) | host.edge_bits(1)
+    leaf = FragmentNode(chi=5, special=5)
+    assert leaf.lambda_union(host) == 5

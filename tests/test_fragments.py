@@ -1,0 +1,103 @@
+"""Unit tests for fragment stitching and conversion (core.fragments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fragments import (
+    fragment_to_decomposition,
+    regular_node,
+    replace_special_leaf,
+    special_leaf,
+)
+from repro.decomp.extended import FragmentNode
+from repro.decomp.validation import validate_hd
+from repro.exceptions import DecompositionError
+from repro.hypergraph import generators
+
+
+def test_special_leaf_constructor():
+    leaf = special_leaf(0b101)
+    assert leaf.is_special_leaf
+    assert leaf.chi == 0b101
+    assert leaf.special == 0b101
+
+
+def test_regular_node_requires_chi_covered():
+    host = generators.cycle(4)
+    node = regular_node(host, (0,), host.edge_bits(0))
+    assert not node.is_special_leaf
+    with pytest.raises(DecompositionError):
+        regular_node(host, (0,), host.edge_bits(0) | host.edge_bits(2))
+
+
+def test_replace_special_leaf_in_tree():
+    host = generators.cycle(4)
+    special = host.vertices_to_mask(["x1", "x3"])
+    root = regular_node(host, (0,), host.edge_bits(0), [special_leaf(special)])
+    replacement = regular_node(host, (1,), host.edge_bits(1))
+    assert replace_special_leaf(root, special, replacement)
+    assert root.children[0] is replacement
+
+
+def test_replace_special_leaf_at_root():
+    special = 0b11
+    root = special_leaf(special)
+    replacement = FragmentNode(chi=0b1, lam_edges=(0,))
+    assert replace_special_leaf(root, special, replacement)
+    # The root object is reused but now carries the replacement's content.
+    assert not root.is_special_leaf
+    assert root.lam_edges == (0,)
+
+
+def test_replace_special_leaf_missing_returns_false():
+    host = generators.cycle(4)
+    root = regular_node(host, (0,), host.edge_bits(0))
+    assert not replace_special_leaf(root, 0b1000, regular_node(host, (1,), host.edge_bits(1)))
+
+
+def test_replace_only_one_of_two_equal_leaves():
+    special = 0b110
+    root = FragmentNode(
+        chi=0b1,
+        lam_edges=(0,),
+        children=[special_leaf(special), special_leaf(special)],
+    )
+    replacement = FragmentNode(chi=0b10, lam_edges=(1,))
+    assert replace_special_leaf(root, special, replacement)
+    remaining = [c for c in root.children if c.is_special_leaf]
+    assert len(remaining) == 1
+
+
+def test_computed_fragments_convert_to_valid_decompositions():
+    from repro.core import LogKDecomposer
+
+    for length in (4, 6, 9):
+        host = generators.cycle(length)
+        result = LogKDecomposer().decompose(host, 2)
+        assert result.success
+        validate_hd(result.decomposition)
+
+
+def test_fragment_to_decomposition_rejects_special_leaves():
+    host = generators.cycle(4)
+    root = regular_node(
+        host, (0,), host.edge_bits(0), [special_leaf(host.edge_bits(2))]
+    )
+    with pytest.raises(DecompositionError):
+        fragment_to_decomposition(host, root)
+
+
+def test_fragment_to_decomposition_names():
+    host = generators.cycle(3)
+    root = regular_node(
+        host,
+        (0, 1),
+        host.edge_bits(0) | host.edge_bits(1),
+        [regular_node(host, (2,), host.edge_bits(2))],
+    )
+    decomposition = fragment_to_decomposition(host, root)
+    assert decomposition.root.cover == {"R1", "R2"}
+    assert decomposition.root.children[0].cover == {"R3"}
+    assert decomposition.width == 2
+    validate_hd(decomposition)

@@ -1,0 +1,121 @@
+"""Unit tests for hypergraph parsing and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.hypergraph import Hypergraph, parse_hypergraph, read_hypergraph, write_hypergraph
+from repro.hypergraph.io import to_hyperbench_format, to_pace_format
+
+
+HYPERBENCH_TEXT = """
+% a toy instance
+r1(x1,x2),
+r2(x2,x3),
+r3(x3,x1).
+"""
+
+PACE_TEXT = """
+p htd 4 3
+1 2
+2 3
+3 4 1
+"""
+
+
+def test_parse_hyperbench_format():
+    h = parse_hypergraph(HYPERBENCH_TEXT, name="toy")
+    assert h.name == "toy"
+    assert h.num_edges == 3
+    assert h.edge_vertices(h.edge_index("r2")) == {"x2", "x3"}
+
+
+def test_parse_pace_format():
+    h = parse_hypergraph(PACE_TEXT)
+    assert h.num_edges == 3
+    assert h.num_vertices == 4
+    assert h.edge_vertices(h.edge_index("e3")) == {"v1", "v3", "v4"}
+
+
+def test_parse_empty_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("   \n  ")
+
+
+def test_parse_comments_only_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("% nothing here\n# still nothing\n")
+
+
+def test_parse_malformed_statement_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("r1(x1,x2), garbage, r2(x2).")
+
+
+def test_parse_unbalanced_parentheses_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("r1(x1,x2.")
+
+
+def test_parse_edge_without_vertices_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("r1().")
+
+
+def test_parse_pace_bad_header_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("p htd x y\n1 2\n")
+
+
+def test_parse_pace_wrong_edge_count_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("p htd 3 2\n1 2\n")
+
+
+def test_parse_pace_vertex_out_of_range_raises():
+    with pytest.raises(ParseError):
+        parse_hypergraph("p htd 2 1\n1 5\n")
+
+
+def test_duplicate_edge_names_get_disambiguated():
+    h = parse_hypergraph("r(x,y),\nr(y,z).")
+    assert h.num_edges == 2
+    assert len(set(h.edge_names)) == 2
+
+
+def test_hyperbench_roundtrip(simple_hypergraph):
+    text = to_hyperbench_format(simple_hypergraph)
+    parsed = parse_hypergraph(text)
+    assert parsed == simple_hypergraph
+
+
+def test_pace_roundtrip_structure(simple_hypergraph):
+    text = to_pace_format(simple_hypergraph)
+    parsed = parse_hypergraph(text)
+    # PACE renames vertices and edges but must preserve the structure sizes.
+    assert parsed.num_edges == simple_hypergraph.num_edges
+    assert parsed.num_vertices == simple_hypergraph.num_vertices
+    assert sorted(len(parsed.edge_vertices(i)) for i in range(parsed.num_edges)) == sorted(
+        len(simple_hypergraph.edge_vertices(i)) for i in range(simple_hypergraph.num_edges)
+    )
+
+
+def test_file_roundtrip(tmp_path, simple_hypergraph):
+    path = tmp_path / "simple.hg"
+    write_hypergraph(simple_hypergraph, path)
+    loaded = read_hypergraph(path)
+    assert loaded == simple_hypergraph
+    assert loaded.name == "simple"
+
+
+def test_hyperbench_format_ends_with_period(simple_hypergraph):
+    text = to_hyperbench_format(simple_hypergraph).strip()
+    assert text.endswith(".")
+    assert text.count(",\n") == simple_hypergraph.num_edges - 1 or simple_hypergraph.num_edges == 1
+
+
+def test_parse_accepts_qualified_names():
+    h = parse_hypergraph("db.table-1(a,b),\nns:rel(b,c).")
+    assert h.num_edges == 2
+    assert "db.table-1" in h

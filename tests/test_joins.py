@@ -1,0 +1,71 @@
+"""Unit tests for atom binding and the naive reference join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.hypergraph.cq import Atom
+from repro.query.database import Database
+from repro.query.joins import atom_relation, join_all, naive_join_query
+from repro.query.relation import Relation
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        [
+            Relation("r", ("a0", "a1"), [(1, 2), (2, 3), (5, 5)]),
+            Relation("s", ("a0", "a1"), [(2, 7), (3, 8)]),
+        ]
+    )
+
+
+def test_atom_relation_renames_schema(db):
+    rel = atom_relation(db, Atom("r", ("x", "y")))
+    assert rel.schema == ("x", "y")
+    assert set(rel.tuples) == {(1, 2), (2, 3), (5, 5)}
+
+
+def test_atom_relation_repeated_variable(db):
+    rel = atom_relation(db, Atom("r", ("x", "x")))
+    assert rel.schema == ("x",)
+    assert set(rel.tuples) == {(5,)}
+
+
+def test_atom_relation_arity_mismatch(db):
+    with pytest.raises(QueryError):
+        atom_relation(db, Atom("r", ("x", "y", "z")))
+
+
+def test_join_all(db):
+    rels = [
+        atom_relation(db, Atom("r", ("x", "y"))),
+        atom_relation(db, Atom("s", ("y", "z"))),
+    ]
+    joined = join_all(rels)
+    assert set(joined.schema) == {"x", "y", "z"}
+    assert len(joined) == 2
+
+
+def test_join_all_empty_sequence():
+    with pytest.raises(QueryError):
+        join_all([])
+
+
+def test_naive_join_query_projection(db):
+    atoms = [Atom("r", ("x", "y")), Atom("s", ("y", "z"))]
+    answers = naive_join_query(db, atoms, ["x", "z"])
+    assert set(answers.schema) == {"x", "z"}
+    assert len(answers) == 2
+
+
+def test_naive_join_query_boolean(db):
+    atoms = [Atom("r", ("x", "y")), Atom("s", ("y", "z"))]
+    result = naive_join_query(db, atoms, [])
+    assert result.schema == ()
+    assert len(result) == 1  # satisfiable
+
+    unsat_atoms = [Atom("r", ("x", "x")), Atom("s", ("x", "y"))]
+    result = naive_join_query(db, unsat_atoms, [])
+    assert len(result) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for join-tree extraction from decompositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import decompose
+from repro.decomp.decomposition import DecompositionNode, HypertreeDecomposition
+from repro.decomp.jointree import JoinTree, JoinTreeNode, join_tree_from_decomposition
+from repro.exceptions import DecompositionError
+from repro.hypergraph import Hypergraph, generators
+
+
+def test_join_tree_from_cycle_decomposition(cycle6):
+    result = decompose(cycle6, 2, algorithm="logk")
+    tree = join_tree_from_decomposition(result.decomposition)
+    tree.validate()
+    assert tree.assigned_edges() == frozenset(cycle6.edge_names)
+    assert tree.width <= 2
+    assert len(tree) == len(result.decomposition)
+
+
+def test_join_tree_assigns_each_edge_once(grid23):
+    result = decompose(grid23, 2, algorithm="detk")
+    tree = join_tree_from_decomposition(result.decomposition)
+    tree.validate()
+    counts: dict[str, int] = {}
+    for node in tree.nodes():
+        for edge in node.assigned_edges:
+            counts[edge] = counts.get(edge, 0) + 1
+    assert all(count == 1 for count in counts.values())
+    assert set(counts) == set(grid23.edge_names)
+
+
+def test_join_tree_rejects_uncovering_decomposition():
+    host = Hypergraph({"a": ["x", "y"], "b": ["y", "z"]})
+    # A "decomposition" that does not cover edge b.
+    root = DecompositionNode(bag={"x", "y"}, cover={"a"})
+    broken = HypertreeDecomposition(host, root)
+    with pytest.raises(DecompositionError):
+        join_tree_from_decomposition(broken)
+
+
+def test_join_tree_validate_detects_double_assignment():
+    host = Hypergraph({"a": ["x", "y"]})
+    node = JoinTreeNode(
+        variables=frozenset({"x", "y"}),
+        cover_edges=frozenset({"a"}),
+        assigned_edges=frozenset({"a"}),
+        children=[
+            JoinTreeNode(
+                variables=frozenset({"x", "y"}),
+                cover_edges=frozenset({"a"}),
+                assigned_edges=frozenset({"a"}),
+            )
+        ],
+    )
+    tree = JoinTree(host, node)
+    with pytest.raises(DecompositionError):
+        tree.validate()
+
+
+def test_join_tree_validate_detects_running_intersection_violation():
+    host = Hypergraph({"a": ["x", "y"], "b": ["y", "z"], "c": ["z", "x"]})
+    leaf = JoinTreeNode(
+        variables=frozenset({"z", "x"}),
+        cover_edges=frozenset({"c"}),
+        assigned_edges=frozenset({"c"}),
+    )
+    middle = JoinTreeNode(
+        variables=frozenset({"y", "z"}),
+        cover_edges=frozenset({"b"}),
+        assigned_edges=frozenset({"b"}),
+        children=[leaf],
+    )
+    root = JoinTreeNode(
+        variables=frozenset({"x", "y"}),
+        cover_edges=frozenset({"a"}),
+        assigned_edges=frozenset({"a"}),
+        children=[middle],
+    )
+    tree = JoinTree(host, root)
+    with pytest.raises(DecompositionError):
+        tree.validate()
+
+
+def test_join_tree_for_acyclic_query():
+    host = generators.chain_query(5)
+    result = decompose(host, 1, algorithm="hybrid")
+    assert result.success
+    tree = join_tree_from_decomposition(result.decomposition)
+    tree.validate()
+    assert tree.width == 1

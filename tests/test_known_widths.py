@@ -1,0 +1,93 @@
+"""Width oracles: families whose hypertree width is known analytically.
+
+These tests pin the algorithms to externally known answers, independently of
+each other:
+
+* alpha-acyclic hypergraphs have hw = 1 (paths, stars, chains, snowflakes);
+* cycles of length >= 3 have hw = 2;
+* chains of glued triangles have hw = 2;
+* the clique K_n (binary edges) has hw = ceil(n / 2);
+* grids have hw >= 2 and growing width with their side length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import hypertree_width
+from repro.decomp import validate_hd
+from repro.hypergraph import generators
+
+ALGORITHMS = ["logk", "logk-basic", "detk", "hybrid"]
+
+
+def _width(hypergraph, algorithm):
+    width, decomposition = hypertree_width(hypergraph, algorithm=algorithm, max_width=5)
+    assert decomposition is not None
+    validate_hd(decomposition)
+    assert decomposition.width == width or decomposition.width <= width
+    return width
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("length", [1, 3, 6])
+def test_paths_have_width_one(algorithm, length):
+    assert _width(generators.path(length), algorithm) == 1
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_stars_and_chains_have_width_one(algorithm):
+    assert _width(generators.star(5), algorithm) == 1
+    assert _width(generators.chain_query(4), algorithm) == 1
+    assert _width(generators.snowflake_query(3), algorithm) == 1
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("length", [3, 4, 5, 7, 10])
+def test_cycles_have_width_two(algorithm, length):
+    assert _width(generators.cycle(length), algorithm) == 2
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_triangle_cascades_have_width_two(algorithm):
+    assert _width(generators.triangle_cascade(3), algorithm) == 2
+
+
+@pytest.mark.parametrize("algorithm", ["logk", "detk", "hybrid"])
+@pytest.mark.parametrize("size,expected", [(4, 2), (5, 3), (6, 3)])
+def test_clique_widths(algorithm, size, expected):
+    assert _width(generators.clique(size), algorithm) == expected
+
+
+def test_clique4_width_with_basic_algorithm():
+    # The unoptimised Algorithm 1 is exercised on the smallest clique only;
+    # its search space grows too quickly for larger cliques in a unit test.
+    assert _width(generators.clique(4), "logk-basic") == 2
+
+
+@pytest.mark.parametrize("algorithm", ["logk", "detk", "hybrid"])
+def test_grid_2x3_width_two(algorithm):
+    assert _width(generators.grid(2, 3), algorithm) == 2
+
+
+@pytest.mark.parametrize("algorithm", ["logk", "detk"])
+def test_hypercycle_width_two(algorithm):
+    assert _width(generators.hypercycle(4, 3), algorithm) == 2
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_single_edge_width_one(algorithm):
+    from repro.hypergraph import Hypergraph
+
+    h = Hypergraph({"only": ["a", "b", "c"]})
+    assert _width(h, algorithm) == 1
+
+
+@pytest.mark.parametrize("algorithm", ["logk", "detk", "hybrid"])
+def test_negative_answers_are_definite(algorithm):
+    # K6 has width 3; every algorithm must refute width 2.
+    from repro.core import decompose
+
+    result = decompose(generators.clique(6), 2, algorithm=algorithm)
+    assert result.decided
+    assert not result.success

@@ -1,0 +1,79 @@
+"""Unit tests for the basic log-k-decomp (Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import LogKBasicDecomposer, LogKDecomposer
+from repro.decomp import validate_hd
+from repro.hypergraph import Hypergraph, generators
+
+
+def test_positive_instance(cycle10):
+    result = LogKBasicDecomposer().decompose(cycle10, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+    assert result.decomposition.width <= 2
+
+
+def test_negative_instance(cycle10):
+    assert not LogKBasicDecomposer().decompose(cycle10, 1).success
+
+
+def test_acyclic_instance(path5):
+    result = LogKBasicDecomposer().decompose(path5, 1)
+    assert result.success
+    validate_hd(result.decomposition)
+
+
+def test_triangle(triangle):
+    result = LogKBasicDecomposer().decompose(triangle, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+
+
+def test_small_base_case():
+    # Algorithm 1 always guesses a root label first, so even a two-edge
+    # hypergraph may yield a two-node HD; only validity and width matter.
+    h = Hypergraph({"a": ["x", "y"], "b": ["y", "z"]})
+    result = LogKBasicDecomposer().decompose(h, 2)
+    assert result.success
+    assert result.decomposition.width <= 2
+    validate_hd(result.decomposition)
+
+
+def test_agrees_with_optimised_variant_on_small_instances():
+    cases = [
+        (generators.cycle(5), 1),
+        (generators.cycle(5), 2),
+        (generators.grid(2, 3), 2),
+        (generators.triangle_cascade(2), 2),
+        (generators.star(4), 1),
+        (generators.hypercycle(4, 3), 2),
+    ]
+    for hypergraph, k in cases:
+        basic = LogKBasicDecomposer().decompose(hypergraph, k)
+        optimised = LogKDecomposer().decompose(hypergraph, k)
+        assert basic.success == optimised.success, (hypergraph.name, k)
+        if basic.success:
+            validate_hd(basic.decomposition)
+
+
+def test_recursion_depth_is_logarithmic():
+    for length in (8, 16):
+        result = LogKBasicDecomposer().decompose(generators.cycle(length), 2)
+        assert result.success
+        bound = 3 * math.log2(length) + 4
+        assert result.statistics.max_recursion_depth <= bound
+
+
+def test_timeout_reported():
+    result = LogKBasicDecomposer(timeout=0.0).decompose(generators.clique(6), 3)
+    assert result.timed_out
+
+
+def test_disconnected_instance():
+    h = Hypergraph({"a": ["x", "y"], "b": ["p", "q"], "c": ["q", "r"], "d": ["r", "p"]})
+    result = LogKBasicDecomposer().decompose(h, 2)
+    assert result.success
+    validate_hd(result.decomposition)

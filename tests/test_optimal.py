@@ -1,0 +1,106 @@
+"""Unit tests for the exact optimal-width solver (HtdLEO substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetKDecomposer, OptimalHDSolver
+from repro.core.optimal import exact_ghw, minimum_edge_cover_size
+from repro.decomp import validate_hd
+from repro.exceptions import SolverError
+from repro.hypergraph import Hypergraph, generators
+
+
+def test_minimum_edge_cover_simple():
+    h = generators.cycle(4)
+    # Cover the whole vertex set of a 4-cycle: two opposite edges suffice.
+    assert minimum_edge_cover_size(h, h.all_vertices_mask) == 2
+    assert minimum_edge_cover_size(h, 0) == 0
+    assert minimum_edge_cover_size(h, h.edge_bits(0)) == 1
+
+
+def test_minimum_edge_cover_respects_limit():
+    h = generators.cycle(6)
+    value = minimum_edge_cover_size(h, h.all_vertices_mask, limit=1)
+    assert value == 2  # limit + 1 signals "no cover within the limit"
+
+
+def test_exact_ghw_known_values():
+    assert exact_ghw(generators.path(4)) == 1
+    assert exact_ghw(generators.cycle(5)) == 2
+    assert exact_ghw(generators.cycle(8)) == 2
+    assert exact_ghw(generators.clique(5)) == 3
+    assert exact_ghw(generators.triangle_cascade(3)) == 2
+
+
+def test_exact_ghw_vertex_limit():
+    h = generators.cycle(30)
+    assert exact_ghw(h, vertex_limit=10) is None
+
+
+def test_solver_rejects_bad_configuration():
+    with pytest.raises(SolverError):
+        OptimalHDSolver(max_width=0)
+    with pytest.raises(SolverError):
+        OptimalHDSolver().solve(Hypergraph({}))
+
+
+@pytest.mark.parametrize(
+    "hypergraph,expected",
+    [
+        (generators.path(5), 1),
+        (generators.star(4), 1),
+        (generators.cycle(3), 2),
+        (generators.cycle(7), 2),
+        (generators.triangle_cascade(2), 2),
+        (generators.clique(4), 2),
+        (generators.clique(5), 3),
+        (generators.grid(2, 3), 2),
+    ],
+)
+def test_optimal_widths_match_known_values(hypergraph, expected):
+    outcome = OptimalHDSolver().solve(hypergraph)
+    assert outcome.solved
+    assert outcome.width == expected
+    validate_hd(outcome.decomposition)
+    assert outcome.decomposition.width == expected
+    assert outcome.lower_bound <= expected
+
+
+def test_optimal_agrees_with_iterative_deepening():
+    for hypergraph in (generators.cycle(9), generators.hypercycle(4, 3), generators.grid(2, 4)):
+        outcome = OptimalHDSolver().solve(hypergraph)
+        assert outcome.solved
+        # The optimum width must be confirmed by det-k-decomp and refuted below.
+        assert DetKDecomposer().decompose(hypergraph, outcome.width).success
+        if outcome.width > 1:
+            assert not DetKDecomposer().decompose(hypergraph, outcome.width - 1).success
+
+
+def test_lower_bound_skips_acyclic_dp():
+    outcome = OptimalHDSolver().solve(generators.path(6))
+    assert outcome.width == 1
+    assert outcome.lower_bound == 1
+
+
+def test_timeout_reported():
+    outcome = OptimalHDSolver(timeout=0.0).solve(generators.clique(7))
+    assert outcome.timed_out
+    assert not outcome.solved
+    assert outcome.width is None
+
+
+def test_max_width_cap():
+    # K8 has width 4; capping the search at 3 must return "unsolved" without
+    # a timeout.
+    outcome = OptimalHDSolver(max_width=2, timeout=30.0).solve(generators.clique(6))
+    assert not outcome.solved
+    assert not outcome.timed_out
+
+
+def test_large_instance_falls_back_without_dp():
+    h = generators.cycle(40)
+    outcome = OptimalHDSolver(dp_vertex_limit=10).solve(h)
+    assert outcome.solved
+    assert outcome.width == 2
+    assert outcome.lower_bound == 2  # non-acyclic lower bound without the DP
