@@ -21,7 +21,8 @@ from repro.core import (
 from repro.decomp.components import components
 from repro.decomp.covers import CoverEnumerator
 from repro.decomp.extended import full_comp
-from repro.hypergraph import generators
+from repro.hypergraph import Hypergraph, generators
+from repro.pipeline import DecompositionEngine, ResultCache, simplify
 from repro.query import DecompositionCSPSolver, evaluate_query, random_database_for_query
 from repro.hypergraph.cq import parse_conjunctive_query
 
@@ -29,6 +30,24 @@ from repro.hypergraph.cq import parse_conjunctive_query
 CYCLE20 = generators.cycle(20)
 GRID33 = generators.grid(3, 3)
 QUERY = parse_conjunctive_query("ans(x,w) :- r(x,y), s(y,z), t(z,x), u(z,w), v(w,p).")
+
+
+def _redundant_cycle(length: int) -> Hypergraph:
+    """A cycle buried under subsumed edges: per cycle edge a duplicate and a
+    unary sub-edge.  The simplifier strips it back to the plain cycle, so the
+    engine-on/engine-off pair below measures exactly what preprocessing buys
+    on inputs with subsumed edges (the redundancy real CQ workloads carry)."""
+    base = generators.cycle(length)
+    edges: dict[str, list[str]] = {}
+    for name, vertices in base.edges_as_dict().items():
+        ordered = sorted(vertices)
+        edges[name] = ordered
+        edges[f"{name}_dup"] = ordered
+        edges[f"{name}_sub"] = ordered[:1]
+    return Hypergraph(edges, name=f"redundant-cycle-{length}")
+
+
+REDUNDANT = _redundant_cycle(16)
 
 
 def test_components_cycle20(benchmark):
@@ -60,6 +79,53 @@ def test_cover_enumeration_grid(benchmark):
 def test_decomposer_on_cycle20(benchmark, name, decomposer):
     result = benchmark(decomposer.decompose, CYCLE20, 2)
     assert result.success
+
+
+# --------------------------------------------------------------------------- #
+# staged pipeline: what simplification buys on subsumed-edge instances
+# --------------------------------------------------------------------------- #
+def test_decompose_redundant_cycle_with_simplification(benchmark):
+    # cache=None so the benchmark measures simplify + search every round, not
+    # result-cache hits; compare against the *_raw_search twin below.
+    engine = DecompositionEngine(cache=None)
+    decomposer = LogKDecomposer(engine=engine)
+    result = benchmark(decomposer.decompose, REDUNDANT, 2)
+    assert result.success
+    assert result.decomposition.hypergraph is REDUNDANT
+
+
+def test_decompose_redundant_cycle_raw_search(benchmark):
+    decomposer = LogKDecomposer(use_engine=False)
+    result = benchmark(decomposer.decompose, REDUNDANT, 2)
+    assert result.success
+
+
+def test_simplify_redundant_cycle(benchmark):
+    trace = benchmark(simplify, REDUNDANT)
+    assert trace.reduced.num_edges == 16
+
+
+def test_engine_cache_hit(benchmark):
+    engine = DecompositionEngine(cache=ResultCache())
+    decomposer = LogKDecomposer(engine=engine)
+    decomposer.decompose(REDUNDANT, 2)  # warm the cache
+
+    def hit():
+        return decomposer.decompose(REDUNDANT, 2)
+
+    result = benchmark(hit)
+    assert result.success
+    assert engine.cache.statistics.hits > 0
+
+
+def test_canonical_hash_redundant_cycle(benchmark):
+    edges = REDUNDANT.edges_as_dict()
+
+    def rebuild_and_hash():
+        return Hypergraph(edges).canonical_hash()  # fresh object: no memoisation
+
+    digest = benchmark(rebuild_and_hash)
+    assert digest == REDUNDANT.canonical_hash()
 
 
 def test_optimal_solver_on_grid(benchmark):

@@ -11,7 +11,7 @@ the logarithmic recursion depth.
 
 from __future__ import annotations
 
-from repro import Hypergraph, decompose, hypertree_width
+from repro import Hypergraph, decompose, hypertree_width, simplify
 from repro.decomp import validate_hd
 from repro.hypergraph import generators, parse_hypergraph
 
@@ -51,6 +51,24 @@ def main() -> None:
     # 4. Exact hypertree width by iterative deepening (k = 1 is refuted first).
     width, _ = hypertree_width(cycle)
     print(f"\nExact hypertree width of C10: {width}")
+
+    # 4b. Every decompose() call runs through the staged pipeline: the input
+    # is simplified with width-preserving reductions, decided answers are
+    # cached under a canonical hash, and the decomposition is lifted back to
+    # the original hypergraph.  Per-stage timings land in the statistics.
+    redundant = Hypergraph(
+        {
+            "big": ["x", "y", "z"],
+            "sub": ["x", "y"],        # subsumed by "big" -> removed before search
+            "tail": ["z", "t1", "t2"],  # t1/t2 are interchangeable -> collapsed
+        },
+        name="redundant",
+    )
+    trace = simplify(redundant)
+    print(f"\nSimplifier on {redundant.name!r}: {trace.summary()}")
+    result = decompose(redundant, k=1)
+    print("stage timings:", {s: f"{t * 1000:.2f}ms" for s, t in result.statistics.stage_seconds.items()})
+    validate_hd(result.decomposition)  # lifted HD is valid on the *original*
 
     # 5. Works the same for arbitrary hypergraphs.
     custom = Hypergraph(

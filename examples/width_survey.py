@@ -14,7 +14,7 @@ from collections import Counter
 
 from repro.bench.corpus import generate_corpus
 from repro.bench.runner import run_parametrised
-from repro.core import HybridDecomposer
+from repro.pipeline import build
 
 
 def main() -> None:
@@ -26,7 +26,7 @@ def main() -> None:
         record = run_parametrised(
             instance,
             "hybrid",
-            lambda timeout: HybridDecomposer(timeout=timeout, threshold=40),
+            lambda timeout: build("hybrid", timeout=timeout, threshold=40),
             time_budget=1.0,
             max_width=4,
         )

@@ -9,6 +9,9 @@ and Pichler.  The package provides:
 * :mod:`repro.core` — the log-k-decomp algorithm (basic and optimised), the
   det-k-decomp baseline, the hybrid strategy, parallel execution, a GHD
   solver and an exact optimal-width solver,
+* :mod:`repro.pipeline` — the staged decomposition engine every entry point
+  routes through: width-preserving simplification with reversible lifting,
+  the declarative algorithm registry, and a canonical-hash result cache,
 * :mod:`repro.query` — HD-guided conjunctive query evaluation and CSP solving,
 * :mod:`repro.bench` — the HyperBench-like corpus and the harness regenerating
   the paper's tables and figures.
@@ -51,6 +54,15 @@ from .decomp import (
     join_tree_from_decomposition,
     validate_ghd,
     validate_hd,
+)
+from .pipeline import (
+    DecompositionEngine,
+    ResultCache,
+    SimplificationTrace,
+    default_engine,
+    lift_decomposition,
+    set_default_engine,
+    simplify,
 )
 from .core import (
     ALGORITHMS,
@@ -114,4 +126,12 @@ __all__ = [
     "hypertree_width",
     "is_width_at_most",
     "make_decomposer",
+    # staged pipeline
+    "DecompositionEngine",
+    "ResultCache",
+    "SimplificationTrace",
+    "default_engine",
+    "set_default_engine",
+    "simplify",
+    "lift_decomposition",
 ]

@@ -11,10 +11,15 @@ Usage (installed as ``repro-bench`` or via ``python -m repro.bench``)::
     repro-bench figure3
     repro-bench depth
     repro-bench all
+    repro-bench --list-algorithms
 
 Each command prints the corresponding table or figure data to stdout.  The
 defaults are sized for a laptop run; EXPERIMENTS.md records the output of a
 full run next to the values reported in the paper.
+
+Decomposers are built through :mod:`repro.pipeline.registry` and run through
+the staged engine (simplification + caching); pass ``--no-simplify`` to
+measure raw-search behaviour instead.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from ..pipeline.registry import registry
 from .corpus import generate_corpus, hb_large
 from .figures import build_figure1, build_figure3, build_recursion_depth_series
 from .reporting import (
@@ -54,19 +60,51 @@ def _parser() -> argparse.ArgumentParser:
         prog="repro-bench",
         description="Regenerate the tables and figures of the log-k-decomp paper.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS, help="which experiment to run")
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=EXPERIMENTS,
+        help="which experiment to run",
+    )
     parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
     parser.add_argument("--budget", type=float, default=2.0, help="seconds per (instance, k) run")
     parser.add_argument("--max-width", type=int, default=6)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--cores", type=int, nargs="+", default=[1, 2, 3, 4])
     parser.add_argument("--quiet", action="store_true", help="suppress per-run progress output")
+    parser.add_argument(
+        "--list-algorithms",
+        action="store_true",
+        help="list the registered decomposition algorithms and exit",
+    )
+    parser.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="bypass the staged engine (no simplification/caching) to measure raw search",
+    )
     return parser
+
+
+def _render_algorithm_listing() -> str:
+    lines = ["Registered decomposition algorithms:"]
+    for name, aliases, description in registry.describe():
+        alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
+        lines.append(f"  {name:<12}{alias_note}")
+        if description:
+            lines.append(f"      {description}")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.list_algorithms:
+        print(_render_algorithm_listing())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment is required (or use --list-algorithms)")
+    simplify = not args.no_simplify
     instances = generate_corpus(scale=args.scale, seed=args.seed)
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
 
@@ -78,6 +116,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             instances,
             time_budget=args.budget,
             max_width=args.max_width,
+            simplify=simplify,
             progress=progress,
         )
 
@@ -89,7 +128,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif experiment == "table2":
             outputs.append(
                 render_table(
-                    build_table2(large, time_budget=args.budget, max_width=args.max_width)
+                    build_table2(
+                        large,
+                        time_budget=args.budget,
+                        max_width=args.max_width,
+                        simplify=simplify,
+                    )
                 )
             )
         elif experiment == "table3":
@@ -108,12 +152,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 core_counts=args.cores,
                 time_budget=max(args.budget * 10, 10.0),
                 fixed_width=2,
+                simplify=simplify,
             )
             outputs.append(render_scaling_series(series))
         elif experiment == "figure3":
             outputs.append(render_scatter(build_figure3(data)))
         elif experiment == "depth":
-            outputs.append(render_depth_series(build_recursion_depth_series()))
+            outputs.append(
+                render_depth_series(build_recursion_depth_series(simplify=simplify))
+            )
 
     print("\n\n".join(outputs))
     return 0

@@ -26,7 +26,7 @@ manual runs (``medium``) can trade coverage for runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 from ..exceptions import SolverError

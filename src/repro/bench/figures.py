@@ -21,12 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-from ..core.detk import DetKDecomposer
-from ..core.logk import LogKDecomposer
-from ..core.parallel import ParallelLogKDecomposer
 from ..hypergraph import generators
 from .corpus import Instance
-from .runner import DEFAULT_HYBRID_THRESHOLD, ExperimentData, RunRecord, run_parametrised
+from .runner import (
+    DEFAULT_HYBRID_THRESHOLD,
+    ExperimentData,
+    RunRecord,
+    bench_decomposer,
+    run_parametrised,
+)
 from .stats import runtime_stats
 
 __all__ = [
@@ -77,6 +80,7 @@ def build_figure1(
     include_detk_reference: bool = True,
     hybrid: bool = True,
     fixed_width: int | None = None,
+    simplify: bool = True,
 ) -> list[ScalingSeries]:
     """Measure parallel scaling of log-k-decomp (Figure 1).
 
@@ -94,7 +98,13 @@ def build_figure1(
     """
     if fixed_width is not None:
         return _build_figure1_fixed_width(
-            instances, core_counts, time_budget, fixed_width, include_detk_reference, hybrid
+            instances,
+            core_counts,
+            time_budget,
+            fixed_width,
+            include_detk_reference,
+            hybrid,
+            simplify,
         )
     methods: list[tuple[str, bool]] = [("log-k", False)]
     if hybrid:
@@ -105,11 +115,13 @@ def build_figure1(
         per_cores: dict[int, list[RunRecord]] = {}
         for cores in core_counts:
             def factory(timeout: float | None, _cores=cores, _hybrid=use_hybrid):
-                return ParallelLogKDecomposer(
+                return bench_decomposer(
+                    "parallel",
                     timeout=timeout,
                     num_workers=_cores,
                     hybrid=_hybrid,
                     threshold=DEFAULT_HYBRID_THRESHOLD,
+                    simplify=simplify,
                 )
 
             per_cores[cores] = [
@@ -144,7 +156,7 @@ def build_figure1(
             run_parametrised(
                 instance,
                 "NewDetKDecomp",
-                lambda t: DetKDecomposer(timeout=t),
+                lambda t: bench_decomposer("detk", timeout=t, simplify=simplify),
                 time_budget,
                 max_width,
             )
@@ -168,6 +180,7 @@ def _build_figure1_fixed_width(
     width: int,
     include_detk_reference: bool,
     hybrid: bool,
+    simplify: bool = True,
 ) -> list[ScalingSeries]:
     """Fixed-width variant of Figure 1 (see :func:`build_figure1`)."""
     methods: list[tuple[str, bool]] = [("log-k", False)]
@@ -180,11 +193,13 @@ def _build_figure1_fixed_width(
         for cores in core_counts:
             runs: dict[str, tuple[bool, float]] = {}
             for instance in instances:
-                decomposer = ParallelLogKDecomposer(
+                decomposer = bench_decomposer(
+                    "parallel",
                     timeout=time_budget,
                     num_workers=cores,
                     hybrid=use_hybrid,
                     threshold=DEFAULT_HYBRID_THRESHOLD,
+                    simplify=simplify,
                 )
                 result = decomposer.decompose(instance.hypergraph, width)
                 runs[instance.name] = (not result.timed_out, result.elapsed)
@@ -214,9 +229,9 @@ def _build_figure1_fixed_width(
         times = []
         timeouts = 0
         for instance in instances:
-            result = DetKDecomposer(timeout=time_budget).decompose(
-                instance.hypergraph, width
-            )
+            result = bench_decomposer(
+                "detk", timeout=time_budget, simplify=simplify
+            ).decompose(instance.hypergraph, width)
             if result.timed_out:
                 timeouts += 1
             else:
@@ -250,6 +265,7 @@ def build_recursion_depth_series(
     sizes: Sequence[int] = (8, 16, 32, 64),
     k: int = 2,
     family: str = "cycle",
+    simplify: bool = True,
 ) -> dict[str, list[tuple[int, int]]]:
     """Recursion depth of log-k-decomp vs det-k-decomp on a growing family.
 
@@ -260,8 +276,8 @@ def build_recursion_depth_series(
     hypergraphs = generators.family(family, list(sizes))
     result: dict[str, list[tuple[int, int]]] = {"log-k-decomp": [], "det-k-decomp": []}
     for hypergraph in hypergraphs:
-        logk = LogKDecomposer().decompose(hypergraph, k)
-        detk = DetKDecomposer().decompose(hypergraph, k)
+        logk = bench_decomposer("logk", simplify=simplify).decompose(hypergraph, k)
+        detk = bench_decomposer("detk", simplify=simplify).decompose(hypergraph, k)
         result["log-k-decomp"].append(
             (hypergraph.num_edges, logk.statistics.max_recursion_depth)
         )

@@ -21,10 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-from ..core.detk import DetKDecomposer
-from ..core.hybrid import HybridDecomposer
 from .corpus import SIZE_GROUPS, Instance, corpus_summary
 from .runner import (
+    bench_decomposer,
     ExperimentData,
     RunRecord,
     run_optimal_solver,
@@ -97,6 +96,7 @@ def build_table2(
     time_budget: float = 2.0,
     max_width: int = 6,
     include_baselines: bool = True,
+    simplify: bool = True,
 ) -> Table:
     """The hybridisation-metric study (Table 2) on the HB_large analogue.
 
@@ -120,8 +120,12 @@ def build_table2(
         label = "WeightedCount"
         records = run_method(
             label,
-            lambda t, thr=threshold: HybridDecomposer(
-                timeout=t, metric="WeightedCount", threshold=thr
+            lambda t, thr=threshold: bench_decomposer(
+                "hybrid",
+                timeout=t,
+                metric="WeightedCount",
+                threshold=thr,
+                simplify=simplify,
             ),
         )
         stats = runtime_stats(records)
@@ -131,8 +135,12 @@ def build_table2(
         label = "EdgeCount"
         records = run_method(
             label,
-            lambda t, thr=threshold: HybridDecomposer(
-                timeout=t, metric="EdgeCount", threshold=thr
+            lambda t, thr=threshold: bench_decomposer(
+                "hybrid",
+                timeout=t,
+                metric="EdgeCount",
+                threshold=thr,
+                simplify=simplify,
             ),
         )
         stats = runtime_stats(records)
@@ -140,7 +148,8 @@ def build_table2(
 
     if include_baselines:
         detk_records = run_method(
-            "NewDetKDecomp", lambda t: DetKDecomposer(timeout=t)
+            "NewDetKDecomp",
+            lambda t: bench_decomposer("detk", timeout=t, simplify=simplify),
         )
         stats = runtime_stats(detk_records)
         table.add_row(["NewDetKDecomp", "-", stats.solved, f"{stats.avg:.2f}"])

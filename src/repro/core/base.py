@@ -36,7 +36,13 @@ __all__ = [
 
 @dataclass
 class SearchStatistics:
-    """Counters collected during a decomposition search."""
+    """Counters collected during a decomposition search.
+
+    ``stage_seconds`` is populated by the staged
+    :class:`~repro.pipeline.engine.DecompositionEngine` with per-stage
+    wall-clock times (``simplify``, ``decompose``, ``lift``, ``validate``);
+    it stays empty for raw :meth:`Decomposer.decompose_raw` runs.
+    """
 
     recursive_calls: int = 0
     max_recursion_depth: int = 0
@@ -44,12 +50,17 @@ class SearchStatistics:
     cache_hits: int = 0
     cache_misses: int = 0
     subproblems_delegated: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record_call(self, depth: int) -> None:
         """Record entering a recursive call at the given depth."""
         self.recursive_calls += 1
         if depth > self.max_recursion_depth:
             self.max_recursion_depth = depth
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time spent in a named pipeline stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def merge(self, other: "SearchStatistics") -> None:
         """Accumulate the counters of ``other`` into this object."""
@@ -59,6 +70,8 @@ class SearchStatistics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.subproblems_delegated += other.subproblems_delegated
+        for stage, seconds in other.stage_seconds.items():
+            self.record_stage(stage, seconds)
 
 
 @dataclass
@@ -95,7 +108,16 @@ class DecompositionResult:
 class SearchContext:
     """Per-run state shared by the recursive search implementations."""
 
-    __slots__ = ("host", "k", "stats", "enumerator", "deadline", "_timeout_stride", "_calls")
+    __slots__ = (
+        "host",
+        "k",
+        "stats",
+        "enumerator",
+        "deadline",
+        "cancel_event",
+        "_timeout_stride",
+        "_calls",
+    )
 
     def __init__(
         self,
@@ -103,6 +125,7 @@ class SearchContext:
         k: int,
         timeout: float | None = None,
         stats: SearchStatistics | None = None,
+        cancel_event=None,
     ) -> None:
         if k < 1:
             raise SolverError(f"width parameter k must be >= 1, got {k}")
@@ -111,25 +134,33 @@ class SearchContext:
         self.stats = stats if stats is not None else SearchStatistics()
         self.enumerator = CoverEnumerator(host, k)
         self.deadline = None if timeout is None else time.monotonic() + timeout
+        #: Optional :class:`threading.Event` checked alongside the deadline;
+        #: lets a coordinator (the parallel thread backend) abort workers that
+        #: are no longer needed after another worker already succeeded.
+        self.cancel_event = cancel_event
         self._timeout_stride = 64
         self._calls = 0
 
     def check_timeout(self) -> None:
-        """Raise :class:`TimeoutExceeded` if the deadline has passed.
+        """Raise :class:`TimeoutExceeded` if the deadline passed or the run was cancelled.
 
         The check is throttled: the wall clock is only consulted every few
         calls, which keeps its overhead negligible on the hot path.
         """
-        if self.deadline is None:
+        if self.deadline is None and self.cancel_event is None:
             return
         self._calls += 1
         if self._calls % self._timeout_stride:
             return
-        if time.monotonic() > self.deadline:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise TimeoutExceeded("decomposition run cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
             raise TimeoutExceeded("decomposition time budget exhausted")
 
     def force_timeout_check(self) -> None:
-        """Unthrottled deadline check (used at recursion entry points)."""
+        """Unthrottled deadline/cancellation check (used at recursion entry points)."""
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise TimeoutExceeded("decomposition run cancelled")
         if self.deadline is not None and time.monotonic() > self.deadline:
             raise TimeoutExceeded("decomposition time budget exhausted")
 
@@ -139,28 +170,87 @@ class Decomposer(ABC):
 
     Subclasses implement :meth:`_run`, which either returns a
     :class:`HypertreeDecomposition` of width at most ``k`` or ``None``.
-    The public :meth:`decompose` wraps it with timing, timeout handling and
-    result packaging.
+
+    The public :meth:`decompose` routes through the staged
+    :class:`~repro.pipeline.engine.DecompositionEngine` (width-preserving
+    simplification, result cache, per-component search, lifting) by default;
+    :meth:`decompose_raw` runs the search directly on the given hypergraph.
+    Constructing a decomposer with ``use_engine=False`` makes
+    :meth:`decompose` equivalent to :meth:`decompose_raw` — the escape hatch
+    the differential tests use to compare the two paths.
     """
 
     name = "abstract"
 
-    def __init__(self, timeout: float | None = None) -> None:
+    def __init__(
+        self,
+        timeout: float | None = None,
+        use_engine: bool = True,
+        engine=None,
+    ) -> None:
         self.timeout = timeout
+        self.use_engine = use_engine
+        #: Optional explicit :class:`~repro.pipeline.engine.DecompositionEngine`;
+        #: when ``None`` the process-wide default engine is used.
+        self.engine = engine
 
     @abstractmethod
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
         """Run the search and return a decomposition of width <= k, or None."""
 
+    def cache_key(self) -> tuple:
+        """Identity of this algorithm configuration for engine cache keys.
+
+        Covers every constructor option (including the timeout): cached
+        entries are decided answers together with the producing run's search
+        statistics, and a differently-configured instance — tighter budget,
+        caching disabled, different hybrid threshold — must not be served an
+        outcome it could not have produced itself.  Non-primitive option
+        values contribute their type name (e.g. the hybrid metric object).
+        """
+        options: list[tuple[str, object]] = []
+        for attr, value in sorted(vars(self).items()):
+            if attr in {"use_engine", "engine"}:
+                continue  # engine plumbing, not algorithm configuration
+            if isinstance(value, (str, int, float, bool, frozenset, tuple, type(None))):
+                options.append((attr, value))
+            else:
+                options.append((attr, type(value).__name__))
+        return (self.name, tuple(options))
+
     def decompose(self, hypergraph: Hypergraph, k: int) -> DecompositionResult:
         """Decide whether ``hypergraph`` has an HD of width at most ``k``.
 
         Returns a :class:`DecompositionResult`; when ``success`` is True the
-        result carries a concrete decomposition of width at most ``k``.
+        result carries a concrete decomposition of width at most ``k`` whose
+        host is ``hypergraph`` itself (decompositions found on the simplified
+        instance are lifted back).
         """
         if hypergraph.num_edges == 0:
             raise SolverError("cannot decompose a hypergraph without edges")
-        context = SearchContext(hypergraph, k, timeout=self.timeout)
+        if not self.use_engine:
+            return self.decompose_raw(hypergraph, k)
+        if self.engine is not None:
+            return self.engine.decompose(self, hypergraph, k)
+        from ..pipeline.engine import default_engine  # deferred: avoids an import cycle
+
+        return default_engine().decompose(self, hypergraph, k)
+
+    def decompose_raw(
+        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+    ) -> DecompositionResult:
+        """Run the search directly, without simplification, caching or lifting.
+
+        This is the pre-pipeline behaviour; the engine calls it once per
+        connected component of the simplified instance, passing the *remaining*
+        time budget via ``timeout`` so one ``decompose`` call never exceeds
+        the configured budget overall (``None`` means use ``self.timeout``).
+        """
+        if hypergraph.num_edges == 0:
+            raise SolverError("cannot decompose a hypergraph without edges")
+        context = SearchContext(
+            hypergraph, k, timeout=self.timeout if timeout is None else timeout
+        )
         start = time.monotonic()
         timed_out = False
         decomposition: HypertreeDecomposition | None = None

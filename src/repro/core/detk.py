@@ -19,7 +19,6 @@ from __future__ import annotations
 from ..decomp.components import ComponentSplitter
 from ..decomp.decomposition import HypertreeDecomposition
 from ..decomp.extended import Comp, FragmentNode, full_comp
-from ..hypergraph import Hypergraph
 from .base import Decomposer, SearchContext
 from .fragments import fragment_to_decomposition, special_leaf
 
@@ -128,8 +127,13 @@ class DetKDecomposer(Decomposer):
 
     name = "det-k-decomp"
 
-    def __init__(self, timeout: float | None = None, use_cache: bool = True) -> None:
-        super().__init__(timeout=timeout)
+    def __init__(
+        self,
+        timeout: float | None = None,
+        use_cache: bool = True,
+        **engine_options,
+    ) -> None:
+        super().__init__(timeout=timeout, **engine_options)
         self.use_cache = use_cache
 
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:

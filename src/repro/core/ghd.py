@@ -47,16 +47,25 @@ class BalancedGHDDecomposer(Decomposer):
 
     name = "balanced-ghd"
 
-    def __init__(self, timeout: float | None = None, require_balanced: bool = True) -> None:
-        super().__init__(timeout=timeout)
+    def __init__(
+        self,
+        timeout: float | None = None,
+        require_balanced: bool = True,
+        **engine_options,
+    ) -> None:
+        super().__init__(timeout=timeout, **engine_options)
         self.require_balanced = require_balanced
 
     # The GHD solver produces GeneralizedHypertreeDecomposition objects, so it
-    # overrides decompose() rather than _run() (which is typed for HDs).
-    def decompose(self, hypergraph: Hypergraph, k: int) -> DecompositionResult:
+    # overrides decompose_raw() rather than _run() (which is typed for HDs).
+    def decompose_raw(
+        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+    ) -> DecompositionResult:
         if hypergraph.num_edges == 0:
             raise SolverError("cannot decompose a hypergraph without edges")
-        context = SearchContext(hypergraph, k, timeout=self.timeout)
+        context = SearchContext(
+            hypergraph, k, timeout=self.timeout if timeout is None else timeout
+        )
         start = time.monotonic()
         timed_out = False
         decomposition = None
@@ -79,7 +88,7 @@ class BalancedGHDDecomposer(Decomposer):
         )
 
     def _run(self, context: SearchContext):  # pragma: no cover - not used
-        raise NotImplementedError("BalancedGHDDecomposer overrides decompose()")
+        raise NotImplementedError("BalancedGHDDecomposer overrides decompose_raw()")
 
     # ------------------------------------------------------------------ #
     # recursive search

@@ -110,8 +110,9 @@ class HybridDecomposer(Decomposer):
         negative_base_case: bool = True,
         restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
+        **engine_options,
     ) -> None:
-        super().__init__(timeout=timeout)
+        super().__init__(timeout=timeout, **engine_options)
         self.metric = make_metric(metric) if isinstance(metric, str) else metric
         self.threshold = threshold
         self.negative_base_case = negative_base_case

@@ -284,8 +284,9 @@ class LogKDecomposer(Decomposer):
         restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
         require_balanced: bool = True,
+        **engine_options,
     ) -> None:
-        super().__init__(timeout=timeout)
+        super().__init__(timeout=timeout, **engine_options)
         self.negative_base_case = negative_base_case
         self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning

@@ -33,7 +33,7 @@ from ..decomp.decomposition import HypertreeDecomposition
 from ..exceptions import SolverError, TimeoutExceeded
 from ..hypergraph import Hypergraph
 from ..hypergraph.properties import is_alpha_acyclic
-from .base import Decomposer, DecompositionResult, SearchContext, SearchStatistics
+from .base import SearchStatistics
 from .detk import DetKDecomposer
 
 __all__ = ["OptimalHDSolver", "OptimalResult", "exact_ghw", "minimum_edge_cover_size"]

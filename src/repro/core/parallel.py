@@ -25,11 +25,12 @@ the Python implementation portable.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as pyqueue
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from ..decomp.covers import CoverEnumerator
-from ..decomp.decomposition import HypertreeDecomposition
 from ..decomp.extended import FragmentNode, full_comp
 from ..exceptions import SolverError
 from ..hypergraph import Hypergraph
@@ -42,11 +43,14 @@ from .logk import LogKSearch
 __all__ = ["ParallelLogKDecomposer"]
 
 
-def _worker_search_star(
-    args: tuple,
-) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
-    """Argument-unpacking wrapper for :func:`_worker_search` (for imap_unordered)."""
-    return _worker_search(*args)
+def _worker_search_to_queue(result_queue, args: tuple) -> None:
+    """Process-backend entry point: run the search, ship the outcome back.
+
+    Every worker puts exactly one result (``_worker_search`` converts any
+    internal failure into a ``timed_out`` outcome), so the coordinator can
+    count results instead of trusting pool machinery.
+    """
+    result_queue.put(_worker_search(*args))
 
 
 def _worker_search(
@@ -58,13 +62,20 @@ def _worker_search(
     hybrid: bool,
     metric_name: str,
     threshold: float,
+    cancel_event: threading.Event | None = None,
 ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
     """Worker entry point (module level so it can be pickled).
+
+    ``cancel_event`` is only used by the thread backend: once some worker has
+    succeeded, the coordinator sets the event and the remaining workers abort
+    at their next periodic deadline check instead of burning CPU to the end
+    of their partitions (``Future.cancel`` cannot stop an already-running
+    worker).  Process workers are terminated through the pool instead.
 
     Returns ``(timed_out, success, fragment, statistics)``.
     """
     host = Hypergraph(edges, name=hypergraph_name)
-    context = SearchContext(host, k, timeout=timeout)
+    context = SearchContext(host, k, timeout=timeout, cancel_event=cancel_event)
     leaf_delegate = None
     delegate_predicate = None
     if hybrid:
@@ -105,8 +116,9 @@ class ParallelLogKDecomposer(Decomposer):
         hybrid: bool = True,
         metric: str = "WeightedCount",
         threshold: float = 400.0,
+        **engine_options,
     ) -> None:
-        super().__init__(timeout=timeout)
+        super().__init__(timeout=timeout, **engine_options)
         if num_workers < 1:
             raise SolverError("num_workers must be >= 1")
         if backend not in {"process", "thread"}:
@@ -120,16 +132,21 @@ class ParallelLogKDecomposer(Decomposer):
     # ------------------------------------------------------------------ #
     # Decomposer interface
     # ------------------------------------------------------------------ #
-    def decompose(self, hypergraph: Hypergraph, k: int) -> DecompositionResult:
+    def decompose_raw(
+        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+    ) -> DecompositionResult:
         if self.num_workers <= 1:
-            return self._sequential().decompose(hypergraph, k)
+            return self._sequential().decompose_raw(hypergraph, k, timeout=timeout)
         start = time.monotonic()
         partitions = CoverEnumerator(hypergraph, k).partition_first_edges(
             None, self.num_workers
         )
         partitions = [p for p in partitions if p]
         runner = self._run_processes if self.backend == "process" else self._run_threads
-        timed_out, success, fragment, stats = runner(hypergraph, k, partitions)
+        effective_timeout = self.timeout if timeout is None else timeout
+        timed_out, success, fragment, stats = runner(
+            hypergraph, k, partitions, effective_timeout
+        )
         elapsed = time.monotonic() - start
         decomposition = None
         if success and fragment is not None:
@@ -146,57 +163,133 @@ class ParallelLogKDecomposer(Decomposer):
         )
 
     def _run(self, context: SearchContext):  # pragma: no cover - not used
-        raise NotImplementedError("ParallelLogKDecomposer overrides decompose()")
+        raise NotImplementedError("ParallelLogKDecomposer overrides decompose_raw()")
 
     # ------------------------------------------------------------------ #
     # backends
     # ------------------------------------------------------------------ #
     def _sequential(self) -> Decomposer:
+        # use_engine=False: when the engine is on, it already ran the
+        # preprocessing before calling decompose_raw; running it again in the
+        # fallback would double the simplification work.
         if self.hybrid:
             return HybridDecomposer(
-                timeout=self.timeout, metric=self.metric, threshold=self.threshold
+                timeout=self.timeout,
+                metric=self.metric,
+                threshold=self.threshold,
+                use_engine=False,
             )
         from .logk import LogKDecomposer
 
-        return LogKDecomposer(timeout=self.timeout)
+        return LogKDecomposer(timeout=self.timeout, use_engine=False)
 
-    def _worker_args(self, hypergraph: Hypergraph, k: int, partition: list[int]) -> tuple:
+    def _worker_args(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        partition: list[int],
+        timeout: float | None,
+    ) -> tuple:
         return (
             hypergraph.edges_as_dict(),
             hypergraph.name,
             k,
             partition,
-            self.timeout,
+            timeout,
             self.hybrid,
             self.metric,
             self.threshold,
         )
 
     def _run_processes(
-        self, hypergraph: Hypergraph, k: int, partitions: list[list[int]]
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        partitions: list[list[int]],
+        timeout: float | None,
     ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
+        # Plain Process workers + one result queue instead of a Pool:
+        # ``Pool.terminate`` can deadlock when its task-handler thread is
+        # still blocked writing while terminate joins it (observed under
+        # CPython 3.11), and this backend's only need is "first success
+        # kills the rest", which Process.terminate does reliably.
         context = mp.get_context()
         stats = SearchStatistics()
         timed_out = False
-        args_list = [self._worker_args(hypergraph, k, part) for part in partitions]
-        with context.Pool(processes=len(partitions)) as pool:
-            for outcome in pool.imap_unordered(_worker_search_star, args_list):
+        result_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_worker_search_to_queue,
+                args=(result_queue, self._worker_args(hypergraph, k, part, timeout)),
+                daemon=True,
+            )
+            for part in partitions
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            pending = len(workers)
+            while pending:
+                try:
+                    outcome = result_queue.get(timeout=0.1)
+                except pyqueue.Empty:
+                    if not any(worker.is_alive() for worker in workers):
+                        # A worker died without reporting (e.g. killed by the
+                        # OS).  Drain what was flushed, then give up on the
+                        # missing results: no sound "no" answer is possible,
+                        # so report the run as undecided (timed out).
+                        drained = self._drain(result_queue)
+                        for worker_timeout, success, fragment, worker_stats in drained:
+                            stats.merge(worker_stats)
+                            timed_out = timed_out or worker_timeout
+                            if success:
+                                return False, True, fragment, stats
+                        if len(drained) < pending:
+                            timed_out = True
+                        return timed_out, False, None, stats
+                    continue
+                pending -= 1
                 worker_timeout, success, fragment, worker_stats = outcome
                 stats.merge(worker_stats)
                 timed_out = timed_out or worker_timeout
                 if success:
-                    pool.terminate()
                     return False, True, fragment, stats
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                worker.join()
+            result_queue.close()
+            result_queue.cancel_join_thread()
         return timed_out, False, None, stats
 
+    @staticmethod
+    def _drain(result_queue) -> list[tuple]:
+        outcomes = []
+        while True:
+            try:
+                outcomes.append(result_queue.get_nowait())
+            except pyqueue.Empty:
+                return outcomes
+
     def _run_threads(
-        self, hypergraph: Hypergraph, k: int, partitions: list[list[int]]
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        partitions: list[list[int]],
+        timeout: float | None,
     ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
         stats = SearchStatistics()
         timed_out = False
+        cancel = threading.Event()
         with ThreadPoolExecutor(max_workers=len(partitions)) as executor:
             futures = {
-                executor.submit(_worker_search, *self._worker_args(hypergraph, k, part))
+                executor.submit(
+                    _worker_search,
+                    *self._worker_args(hypergraph, k, part, timeout),
+                    cancel_event=cancel,
+                )
                 for part in partitions
             }
             while futures:
@@ -206,6 +299,12 @@ class ParallelLogKDecomposer(Decomposer):
                     stats.merge(worker_stats)
                     timed_out = timed_out or worker_timeout
                     if success:
+                        # Future.cancel only helps workers still queued; the
+                        # shared event makes already-running workers abort at
+                        # their next deadline check, so the executor shutdown
+                        # below does not wait for them to finish their
+                        # partitions.
+                        cancel.set()
                         for other in futures:
                             other.cancel()
                         return False, True, fragment, stats

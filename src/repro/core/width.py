@@ -4,8 +4,8 @@
 * :func:`hypertree_width` — compute the exact hypertree width by iterative
   deepening over ``k`` (with a fast acyclicity shortcut for width 1),
 * :func:`is_width_at_most` — the decision problem for a single ``k``,
-* :func:`make_decomposer` — the algorithm registry used by the benchmark
-  harness and the CLI.
+* :func:`make_decomposer` — thin wrapper over the declarative
+  :mod:`repro.pipeline.registry` used by the benchmark harness and the CLI.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from ..decomp.decomposition import HypertreeDecomposition
 from ..exceptions import SolverError
 from ..hypergraph import Hypergraph
 from ..hypergraph.properties import is_alpha_acyclic
+from ..pipeline.registry import registry as _registry
 from .base import Decomposer, DecompositionResult
 from .detk import DetKDecomposer
 from .ghd import BalancedGHDDecomposer
@@ -30,7 +31,8 @@ __all__ = [
     "hypertree_width",
 ]
 
-#: Registry of algorithm names accepted by :func:`make_decomposer`.
+#: Backwards-compatible class table; :mod:`repro.pipeline.registry` is the
+#: authoritative catalogue and accepts these names (plus aliases).
 ALGORITHMS = {
     "logk": LogKDecomposer,
     "logk-basic": LogKBasicDecomposer,
@@ -42,13 +44,8 @@ ALGORITHMS = {
 
 
 def make_decomposer(algorithm: str = "hybrid", **options) -> Decomposer:
-    """Instantiate a decomposer by name; extra options go to its constructor."""
-    try:
-        factory = ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise SolverError(f"unknown algorithm {algorithm!r}; known: {known}") from None
-    return factory(**options)
+    """Instantiate a decomposer by registry name; extra options go to its constructor."""
+    return _registry.build(algorithm, **options)
 
 
 def decompose(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Mapping
 
 from ..exceptions import ParseError, QueryError
 from .hypergraph import Hypergraph

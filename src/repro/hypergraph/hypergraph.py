@@ -14,6 +14,7 @@ and validation.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from ..exceptions import HypergraphError
@@ -51,6 +52,7 @@ class Hypergraph:
         "_vertex_names",
         "_vertex_index",
         "_all_vertices_mask",
+        "_canonical_hash",
     )
 
     def __init__(
@@ -89,6 +91,7 @@ class Hypergraph:
             for edge in self._edge_sets
         ]
         self._all_vertices_mask = bitset.from_indices(range(len(self._vertex_names)))
+        self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -202,6 +205,31 @@ class Hypergraph:
     def rename(self, name: str) -> "Hypergraph":
         """Return a copy of this hypergraph carrying a different name."""
         return Hypergraph(self.edges_as_dict(), name=name)
+
+    def canonical_hash(self) -> str:
+        """A canonical content digest of the hypergraph, as a hex string.
+
+        The digest is computed over the sorted sequence of
+        ``(edge name, sorted vertex names)`` pairs, so it is insensitive to the
+        order in which edges were supplied and to the order of vertices within
+        an edge, but sensitive to edge names and vertex names.  The instance
+        :attr:`name` is *not* part of the digest — two hypergraphs with the
+        same edges hash identically regardless of what they are called.
+
+        Used by :mod:`repro.pipeline.engine` as the instance part of its
+        result-cache key.  The value is computed lazily and memoised.
+        """
+        if self._canonical_hash is None:
+            pairs = sorted(
+                (name, tuple(sorted(edge)))
+                for name, edge in zip(self._edge_names, self._edge_sets)
+            )
+            # repr() of the sorted pair list is an unambiguous serialisation
+            # (names are quoted, so separator characters inside names cannot
+            # collide with the structure).
+            payload = repr(pairs).encode("utf-8")
+            self._canonical_hash = hashlib.sha256(payload).hexdigest()
+        return self._canonical_hash
 
     # ------------------------------------------------------------------ #
     # dunder protocol

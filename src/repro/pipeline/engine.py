@@ -1,0 +1,330 @@
+"""The staged decomposition engine: simplify → cache → decompose → lift.
+
+Every :meth:`repro.core.base.Decomposer.decompose` call routes through a
+:class:`DecompositionEngine` (unless the decomposer was built with
+``use_engine=False``).  A run proceeds in stages, each timed into
+``SearchStatistics.stage_seconds``:
+
+1. **simplify** — apply the width-preserving reductions of
+   :mod:`repro.pipeline.simplify` (subsumed edges, interchangeable
+   degree-one vertices) and keep the reversible trace;
+2. **cache** — look the reduced instance up in an LRU result cache keyed by
+   ``(canonical hypergraph hash, k, algorithm cache key)``.  Only *decided*
+   outcomes are stored — timeouts are never cached — and positive entries
+   keep the decomposition tree of the reduced instance so a hit can be
+   lifted for the new caller;
+3. **decompose** — split the reduced instance into vertex-connected
+   components and run the underlying algorithm
+   (:meth:`~repro.core.base.Decomposer.decompose_raw`) on each.  HDs of
+   disjoint components are grafted under the first component's root: no node
+   of one component shares vertices with another, so connectedness and the
+   special condition hold trivially for the combined tree and its width is
+   the maximum of the component widths — exactly ``hw`` of a disconnected
+   hypergraph;
+4. **lift** — replay the simplification trace backwards
+   (:func:`~repro.pipeline.simplify.lift_decomposition`) so the returned
+   decomposition is hosted on the *original* hypergraph;
+5. **validate** (optional) — run the independent
+   :func:`~repro.decomp.validation.validate_hd` oracle on the lifted result.
+
+The engine is what makes preprocessing wins apply uniformly: the CLI, the
+benchmark harness, the query layer and user code all construct algorithms
+through the registry and call ``decompose``, so they all inherit the same
+pipeline, including the parallel backend (whose worker partitioning then
+operates on the already-reduced instance).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from ..core.base import Decomposer, DecompositionResult, SearchStatistics
+from ..decomp.decomposition import (
+    Decomposition,
+    DecompositionNode,
+    HypertreeDecomposition,
+)
+from ..decomp.validation import validate_ghd, validate_hd
+from ..hypergraph import Hypergraph
+from ..hypergraph.properties import connected_components
+from .simplify import SimplificationTrace, lift_decomposition, simplify
+
+__all__ = [
+    "CacheStatistics",
+    "ResultCache",
+    "DecompositionEngine",
+    "default_engine",
+    "set_default_engine",
+]
+
+
+def _copy_node(node: DecompositionNode) -> DecompositionNode:
+    return DecompositionNode(
+        bag=node.bag,
+        cover=node.cover,
+        children=[_copy_node(child) for child in node.children],
+    )
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss/eviction counters of a :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """A decided (never timed-out) outcome for a reduced instance.
+
+    ``stats`` are the producing run's search counters (stage timings
+    stripped); they are replayed into hit results so statistics-based
+    analyses (recursion depth, label counts) stay meaningful and
+    deterministic whether or not the cache intervened.  The instance itself
+    is identified solely by the SHA-256 canonical hash inside the key.
+    """
+
+    success: bool
+    root: DecompositionNode | None
+    kind: type  # Decomposition subclass produced by the algorithm
+    stats: SearchStatistics
+
+
+class ResultCache:
+    """Thread-safe LRU cache of decided decomposition outcomes."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self.statistics = CacheStatistics()
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get(self, key: tuple) -> _CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.statistics.hits += 1
+                return entry
+            self.statistics.misses += 1
+            return None
+
+    def put(
+        self,
+        key: tuple,
+        success: bool,
+        root: DecompositionNode | None,
+        kind: type = HypertreeDecomposition,
+        stats: SearchStatistics | None = None,
+    ) -> None:
+        entry = _CacheEntry(
+            success=success,
+            root=_copy_node(root) if root is not None else None,
+            kind=kind,
+            stats=replace(stats, stage_seconds={}) if stats is not None else SearchStatistics(),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.statistics.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+
+class DecompositionEngine:
+    """Runs decomposers through the staged pipeline described in the module docs.
+
+    Parameters
+    ----------
+    simplify:
+        Apply the width-preserving reductions (default on).
+    split_components:
+        Decompose vertex-connected components independently (default on).
+    cache:
+        A :class:`ResultCache`, ``True`` for a private default-sized cache,
+        or ``False``/``None`` to disable caching.
+    validate:
+        Run ``validate_hd`` on every successful lifted decomposition.
+        Off by default (the test-suite exercises the oracle instead).
+    """
+
+    def __init__(
+        self,
+        *,
+        simplify: bool = True,
+        split_components: bool = True,
+        cache: ResultCache | bool | None = True,
+        validate: bool = False,
+    ) -> None:
+        self.simplify_enabled = simplify
+        self.split_components = split_components
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self.validate = validate
+
+    # ------------------------------------------------------------------ #
+    # pipeline
+    # ------------------------------------------------------------------ #
+    def decompose(
+        self, decomposer: Decomposer, hypergraph: Hypergraph, k: int
+    ) -> DecompositionResult:
+        """Run the full pipeline; the result is hosted on ``hypergraph``."""
+        start = time.monotonic()
+        stats = SearchStatistics()
+
+        # Stage 1: simplification.
+        t0 = time.monotonic()
+        if self.simplify_enabled:
+            trace = simplify(hypergraph)
+        else:
+            trace = SimplificationTrace(original=hypergraph, reduced=hypergraph)
+        reduced = trace.reduced
+        stats.record_stage("simplify", time.monotonic() - t0)
+
+        # Stage 2: cache lookup on the reduced instance.
+        key = None
+        success: bool | None = None
+        timed_out = False
+        combined_root: DecompositionNode | None = None
+        kind: type = HypertreeDecomposition
+        if self.cache is not None:
+            t0 = time.monotonic()
+            key = (reduced.canonical_hash(), k, decomposer.cache_key())
+            entry = self.cache.get(key)
+            stats.record_stage("cache", time.monotonic() - t0)
+            if entry is not None:
+                # Replay the producing run's counters; engine-level hit/miss
+                # totals live in ``self.cache.statistics``, not here, because
+                # SearchStatistics.cache_* belong to the algorithms' own
+                # subproblem caches.
+                stats.merge(entry.stats)
+                success = entry.success
+                combined_root = _copy_node(entry.root) if entry.root else None
+                kind = entry.kind
+
+        # Stage 3: per-component decomposition.
+        if success is None:
+            t0 = time.monotonic()
+            success, timed_out, combined_root, kind = self._decompose_components(
+                decomposer, reduced, k, stats
+            )
+            stats.record_stage("decompose", time.monotonic() - t0)
+            if self.cache is not None and key is not None and not timed_out:
+                self.cache.put(key, success, combined_root, kind, stats)
+
+        # Stage 4: lift back to the original hypergraph.
+        decomposition: Decomposition | None = None
+        if success and combined_root is not None:
+            t0 = time.monotonic()
+            on_reduced = kind(reduced, combined_root)
+            if trace.reduced_anything:
+                decomposition = lift_decomposition(trace, on_reduced)
+            elif hypergraph is reduced:
+                decomposition = on_reduced
+            else:
+                decomposition = kind(hypergraph, combined_root)
+            stats.record_stage("lift", time.monotonic() - t0)
+
+        # Stage 5: optional validation against the independent oracle.
+        if self.validate and decomposition is not None:
+            t0 = time.monotonic()
+            if isinstance(decomposition, HypertreeDecomposition):
+                validate_hd(decomposition)
+            else:
+                validate_ghd(decomposition)
+            stats.record_stage("validate", time.monotonic() - t0)
+
+        return DecompositionResult(
+            algorithm=decomposer.name,
+            hypergraph=hypergraph,
+            width_parameter=k,
+            success=bool(success),
+            decomposition=decomposition,
+            elapsed=time.monotonic() - start,
+            timed_out=timed_out,
+            statistics=stats,
+        )
+
+    def _decompose_components(
+        self,
+        decomposer: Decomposer,
+        reduced: Hypergraph,
+        k: int,
+        stats: SearchStatistics,
+    ) -> tuple[bool, bool, DecompositionNode | None, type]:
+        """Decompose each connected component and graft the HDs together."""
+        if self.split_components:
+            groups = connected_components(reduced)
+        else:
+            groups = [list(range(reduced.num_edges))]
+        if len(groups) <= 1:
+            hosts = [reduced]
+        else:
+            hosts = [reduced.subhypergraph(group, name=reduced.name) for group in groups]
+
+        # One deadline for the whole call: each component gets the budget that
+        # remains, not a full timeout of its own.
+        deadline = (
+            time.monotonic() + decomposer.timeout
+            if decomposer.timeout is not None
+            else None
+        )
+        roots: list[DecompositionNode] = []
+        kind: type = HypertreeDecomposition
+        for host in hosts:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False, True, None, kind
+            result = decomposer.decompose_raw(host, k, timeout=remaining)
+            stats.merge(result.statistics)
+            if result.timed_out:
+                return False, True, None, kind
+            if not result.success or result.decomposition is None:
+                return False, False, None, kind
+            kind = type(result.decomposition)
+            roots.append(result.decomposition.root)
+
+        combined = roots[0]
+        for other in roots[1:]:
+            combined.children.append(other)
+        return True, False, combined, kind
+
+
+_default_engine: DecompositionEngine | None = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> DecompositionEngine:
+    """The process-wide engine used when a decomposer has no explicit one."""
+    global _default_engine
+    if _default_engine is None:
+        with _default_engine_lock:
+            if _default_engine is None:
+                _default_engine = DecompositionEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: DecompositionEngine | None) -> None:
+    """Replace the process-wide default engine (``None`` resets to a fresh one)."""
+    global _default_engine
+    with _default_engine_lock:
+        _default_engine = engine

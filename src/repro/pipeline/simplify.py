@@ -1,0 +1,273 @@
+"""Width-preserving hypergraph simplification with a reversible trace.
+
+The practical solvers the paper benchmarks against (BalancedGo,
+det-k-decomp, HtdSMT) never search on the raw input: they first shrink the
+hypergraph with cheap reductions that provably do not change the hypertree
+width, and only then run the expensive search.  This module implements the
+two reductions that are safe for *hypertree* decompositions (where the
+special condition constrains how a solution of the reduced instance may be
+transformed) together with the bookkeeping needed to turn an HD of the
+reduced instance back into an HD of the original one.
+
+Reduction 1 — subsumed-edge removal
+    An edge ``e`` with ``e ⊆ f`` for some other edge ``f`` is dropped
+    (duplicate edges are the special case ``e = f`` as vertex sets; the
+    lexicographically smaller name survives).
+
+    *Why width-preserving.*  Any HD of the reduced hypergraph is literally an
+    HD of the original: the bag that covers ``f`` also covers ``e``
+    (condition 1); the vertex set is unchanged because every vertex of ``e``
+    also occurs in ``f``, so connectedness (condition 2), bag coverage
+    (condition 3) and the special condition (condition 4) are untouched, and
+    no λ-label referenced ``e``.  Conversely any HD of the original is an HD
+    of the reduced instance (fewer edges to cover).  Hence
+    ``hw(H') = hw(H)`` and lifting is the identity on the tree — only the
+    host hypergraph is swapped back.
+
+Reduction 2 — vertex collapse (degree-one / interchangeable vertices)
+    Vertices with *identical edge membership* (they occur in exactly the same
+    set of edges) are interchangeable for the decomposition search: one
+    representative is kept, the others are removed from every edge.  The most
+    common case is an edge with several private (degree-one) vertices — they
+    all occur only in that edge, so they collapse onto a single private
+    representative.  This is the HD-safe form of the degree-one-vertex
+    elimination rule: removing the *last* private vertex of an edge would
+    change the edge itself and is **not** in general liftable through the
+    special condition, so one representative always stays behind.
+
+    *Why width-preserving.*  λ-labels are sets of edges and no edge is
+    removed, so widths are unaffected.  Given an HD of the reduced instance,
+    the lift adds every removed vertex ``v`` to exactly the bags that contain
+    its representative ``r``.  All four HD conditions survive:
+
+    1. *Edge coverage* — the bag covering reduced ``E`` contains ``r`` for
+       every collapsed class meeting ``E``, so it gains the partners and
+       covers the original ``E``.
+    2. *Connectedness* — the nodes containing ``v`` are exactly the nodes
+       containing ``r``, a subtree by induction.
+    3. *Bag coverage* (χ(u) ⊆ ∪λ(u)) — if ``r ∈ χ(u)`` then some edge of
+       λ(u) contains ``r``; that edge's original form contains ``v`` as well
+       (identical membership), and ∪λ(u) is evaluated on the original edges
+       after the lift.
+    4. *Special condition* (χ(T_u) ∩ ∪λ(u) ⊆ χ(u)) — ``v`` appears in
+       χ(T_u) iff ``r`` does, and ``v ∈ ∪λ(u)`` iff ``r ∈ ∪λ(u)`` (again
+       identical membership), so a violation involving ``v`` would already be
+       a violation involving ``r``.
+
+    Conversely, restricting the bags of an HD of the original to the reduced
+    vertex set yields an HD of the reduced instance, so the width is
+    preserved in both directions and a ``k``-refutation on the reduced
+    instance is a valid refutation for the original.
+
+The reductions cascade — collapsing vertices can make edges equal, removing
+edges can make memberships equal — so :func:`simplify` iterates both to a
+fixpoint and records each step in a :class:`SimplificationTrace`.
+:func:`lift_decomposition` replays the trace in reverse to re-host a
+decomposition of the reduced instance on the original hypergraph.
+
+Splitting into connected components (the third preprocessing step the
+engine performs) lives in :mod:`repro.pipeline.engine`, since it needs no
+trace: HDs of disjoint components are simply grafted under one root, which
+is width-preserving because ∪λ(u) of a node never meets another component's
+vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..decomp.decomposition import Decomposition, DecompositionNode
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "RemovedEdge",
+    "CollapsedVertices",
+    "SimplificationTrace",
+    "simplify",
+    "lift_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class RemovedEdge:
+    """A subsumed (or duplicate) edge that was dropped, with its witness."""
+
+    name: str
+    witness: str  # surviving edge with ``edge ⊆ witness``
+
+
+@dataclass(frozen=True)
+class CollapsedVertices:
+    """A class of identical-membership vertices collapsed onto a representative."""
+
+    representative: str
+    removed: tuple[str, ...]
+
+
+@dataclass
+class SimplificationTrace:
+    """The outcome of :func:`simplify`: the reduced instance plus a replayable log.
+
+    ``steps`` holds :class:`RemovedEdge` and :class:`CollapsedVertices`
+    entries in the order they were applied; :func:`lift_decomposition`
+    processes them in reverse.
+    """
+
+    original: Hypergraph
+    reduced: Hypergraph
+    steps: list[RemovedEdge | CollapsedVertices] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def reduced_anything(self) -> bool:
+        """True iff at least one reduction step applied."""
+        return bool(self.steps)
+
+    @property
+    def removed_edges(self) -> list[RemovedEdge]:
+        return [s for s in self.steps if isinstance(s, RemovedEdge)]
+
+    @property
+    def collapsed_vertices(self) -> list[CollapsedVertices]:
+        return [s for s in self.steps if isinstance(s, CollapsedVertices)]
+
+    def summary(self) -> str:
+        """One-line human-readable account of what the simplifier did."""
+        return (
+            f"{self.original.num_edges}->{self.reduced.num_edges} edges, "
+            f"{self.original.num_vertices}->{self.reduced.num_vertices} vertices "
+            f"in {self.rounds} round(s)"
+        )
+
+
+def _remove_subsumed(
+    edges: dict[str, frozenset[str]], steps: list
+) -> tuple[dict[str, frozenset[str]], bool]:
+    """Drop every edge contained in another surviving edge."""
+    # Deterministic scan order: smaller edges first (they can only be the
+    # subsumed side); ties broken by name so duplicates keep the smaller name.
+    order = sorted(edges, key=lambda n: (len(edges[n]), n))
+    surviving = dict(edges)
+    changed = False
+    for name in order:
+        vertices = surviving.get(name)
+        if vertices is None:
+            continue
+        for other, other_vertices in surviving.items():
+            if other == name:
+                continue
+            # Proper subsets always go; exact duplicates keep the smaller name.
+            if vertices < other_vertices or (
+                vertices == other_vertices and name > other
+            ):
+                del surviving[name]
+                steps.append(RemovedEdge(name=name, witness=other))
+                changed = True
+                break
+    return surviving, changed
+
+
+def _collapse_vertices(
+    edges: dict[str, frozenset[str]], steps: list
+) -> tuple[dict[str, frozenset[str]], bool]:
+    """Collapse every class of identical-membership vertices onto one vertex."""
+    membership: dict[str, frozenset[str]] = {}
+    for name, vertices in edges.items():
+        for vertex in vertices:
+            membership[vertex] = membership.get(vertex, frozenset()) | {name}
+    classes: dict[frozenset[str], list[str]] = {}
+    for vertex, edge_set in membership.items():
+        classes.setdefault(edge_set, []).append(vertex)
+
+    to_remove: set[str] = set()
+    for group in classes.values():
+        if len(group) < 2:
+            continue
+        group.sort()
+        representative, partners = group[0], tuple(group[1:])
+        steps.append(CollapsedVertices(representative=representative, removed=partners))
+        to_remove.update(partners)
+    if not to_remove:
+        return edges, False
+    reduced = {
+        name: frozenset(v for v in vertices if v not in to_remove)
+        for name, vertices in edges.items()
+    }
+    return reduced, True
+
+
+def simplify(hypergraph: Hypergraph, max_rounds: int | None = None) -> SimplificationTrace:
+    """Apply the width-preserving reductions to a fixpoint.
+
+    Returns a :class:`SimplificationTrace` whose ``reduced`` hypergraph has
+    the same hypertree width as ``hypergraph`` and whose ``steps`` allow
+    :func:`lift_decomposition` to re-host any HD of the reduced instance on
+    the original.  When nothing reduces, ``reduced`` *is* the input object
+    (no copy is made).
+    """
+    edges = {
+        name: vertices for name, vertices in hypergraph.edges_as_dict().items()
+    }
+    steps: list[RemovedEdge | CollapsedVertices] = []
+    rounds = 0
+    while max_rounds is None or rounds < max_rounds:
+        edges, removed = _remove_subsumed(edges, steps)
+        edges, collapsed = _collapse_vertices(edges, steps)
+        if not (removed or collapsed):
+            break
+        rounds += 1
+    if not steps:
+        return SimplificationTrace(original=hypergraph, reduced=hypergraph, rounds=0)
+    # Preserve the original edge order for the survivors (stable, and keeps
+    # canonical hashes of equal reductions identical regardless of history).
+    ordered = {
+        name: edges[name] for name in hypergraph.edge_names if name in edges
+    }
+    reduced = Hypergraph(ordered, name=hypergraph.name)
+    return SimplificationTrace(
+        original=hypergraph, reduced=reduced, steps=steps, rounds=rounds
+    )
+
+
+def _rebuild(node: DecompositionNode, expand) -> DecompositionNode:
+    return DecompositionNode(
+        bag=frozenset(expand(node.bag)),
+        cover=node.cover,
+        children=[_rebuild(child, expand) for child in node.children],
+    )
+
+
+def lift_decomposition(
+    trace: SimplificationTrace, decomposition: Decomposition
+) -> Decomposition:
+    """Re-host a decomposition of ``trace.reduced`` on ``trace.original``.
+
+    The returned object has the same class as ``decomposition`` (plain
+    :class:`HypertreeDecomposition`, generalized, ...), so GHD results keep
+    their weaker promise.
+
+    Collapse steps are replayed in reverse: wherever a bag contains a class
+    representative, the collapsed partners are re-inserted (transitively, so
+    representatives that were themselves collapsed in a later round are
+    restored first).  Edge-removal steps need no bag surgery — the λ-labels
+    of the reduced instance are a subset of the original edges, and the
+    removed edges are covered by their witnesses' bags (see the module
+    docstring for the full argument).  The width of the returned
+    decomposition equals the width of ``decomposition``.
+    """
+    expansions: list[CollapsedVertices] = [
+        step for step in trace.steps if isinstance(step, CollapsedVertices)
+    ]
+
+    def expand(bag: frozenset[str]) -> set[str]:
+        result = set(bag)
+        # Reverse order restores transitively-collapsed classes correctly:
+        # if round 2 collapsed r into s and round 1 collapsed a into r, then
+        # restoring s -> r first makes the r -> a restoration applicable.
+        for step in reversed(expansions):
+            if step.representative in result:
+                result.update(step.removed)
+        return result
+
+    root = _rebuild(decomposition.root, expand)
+    return type(decomposition)(trace.original, root)

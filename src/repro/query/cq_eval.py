@@ -93,14 +93,26 @@ def evaluate_query(
     algorithm: str = "hybrid",
     max_width: int = 10,
     timeout: float | None = None,
+    simplify: bool = True,
 ) -> EvaluationReport:
-    """Evaluate ``query`` over ``database`` guided by a minimum-width HD."""
+    """Evaluate ``query`` over ``database`` guided by a minimum-width HD.
+
+    ``algorithm`` is any name known to :mod:`repro.pipeline.registry`.  The
+    decomposition step runs through the staged engine by default, so queries
+    with redundant (subsumed) atoms are decomposed on their simplified
+    hypergraph and repeated query shapes hit the engine's result cache;
+    ``simplify=False`` forces a raw search.
+    """
     hypergraph = query.hypergraph()
     edge_atoms = query.edge_atom_map()
 
     start = time.monotonic()
     width, decomposition = hypertree_width(
-        hypergraph, algorithm=algorithm, max_width=max_width, timeout=timeout
+        hypergraph,
+        algorithm=algorithm,
+        max_width=max_width,
+        timeout=timeout,
+        use_engine=simplify,
     )
     decomposition_seconds = time.monotonic() - start
     if width is None or decomposition is None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import DetKDecomposer, LogKDecomposer
-from repro.core.base import DecompositionResult, SearchContext, SearchStatistics
+from repro.core.base import SearchContext, SearchStatistics
 from repro.exceptions import SolverError, TimeoutExceeded
 from repro.hypergraph import Hypergraph, generators
 

@@ -1,0 +1,69 @@
+"""Unit tests for Hypergraph.canonical_hash (engine cache keys)."""
+
+from __future__ import annotations
+
+from repro.hypergraph import Hypergraph, generators, read_hypergraph, write_hypergraph
+
+
+def test_insensitive_to_edge_order():
+    a = Hypergraph({"r": ["x", "y"], "s": ["y", "z"]})
+    b = Hypergraph({"s": ["y", "z"], "r": ["x", "y"]})
+    assert a.canonical_hash() == b.canonical_hash()
+
+
+def test_insensitive_to_vertex_order_within_edges():
+    a = Hypergraph({"r": ["x", "y", "z"]})
+    b = Hypergraph({"r": ["z", "x", "y"]})
+    assert a.canonical_hash() == b.canonical_hash()
+
+
+def test_insensitive_to_instance_name():
+    a = Hypergraph({"r": ["x", "y"]}, name="first")
+    assert a.canonical_hash() == a.rename("second").canonical_hash()
+
+
+def test_sensitive_to_edge_names():
+    a = Hypergraph({"r": ["x", "y"]})
+    b = Hypergraph({"q": ["x", "y"]})
+    assert a.canonical_hash() != b.canonical_hash()
+
+
+def test_sensitive_to_vertex_sets():
+    a = Hypergraph({"r": ["x", "y"]})
+    b = Hypergraph({"r": ["x", "z"]})
+    assert a.canonical_hash() != b.canonical_hash()
+
+
+def test_no_collision_from_separator_characters():
+    # Structure characters inside names must not let distinct graphs collide.
+    a = Hypergraph({"e(": ["x"]})
+    b = Hypergraph({"e": ["(x"]})
+    assert a.canonical_hash() != b.canonical_hash()
+
+
+def test_distinct_small_graphs_hash_distinctly():
+    graphs = [
+        generators.cycle(4),
+        generators.cycle(5),
+        generators.path(4),
+        generators.star(4),
+        generators.grid(2, 3),
+        generators.clique(4),
+    ]
+    hashes = {g.canonical_hash() for g in graphs}
+    assert len(hashes) == len(graphs)
+
+
+def test_memoised_and_stable():
+    h = generators.cycle(6)
+    assert h.canonical_hash() == h.canonical_hash()
+    rebuilt = Hypergraph(h.edges_as_dict(), name=h.name)
+    assert rebuilt.canonical_hash() == h.canonical_hash()
+
+
+def test_round_trip_through_io(tmp_path):
+    h = generators.with_chords(generators.cycle(9), 2, seed=1)
+    path = tmp_path / "instance.hg"
+    write_hypergraph(h, path)
+    again = read_hypergraph(path)
+    assert again.canonical_hash() == h.canonical_hash()

@@ -44,3 +44,35 @@ def test_progress_goes_to_stderr(capsys):
     captured = capsys.readouterr()
     assert "Table 4" in captured.out
     assert captured.err  # per-run progress lines
+
+
+def test_list_algorithms(capsys):
+    exit_code = main(["--list-algorithms"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    for name in ("logk", "detk", "hybrid", "parallel", "ghd"):
+        assert name in out
+    assert "log-k-decomp" in out  # aliases are shown
+
+
+def test_experiment_required_without_listing():
+    with pytest.raises(SystemExit):
+        main(["--quiet"])
+
+
+def test_no_simplify_flag_runs_raw_search(capsys):
+    exit_code = main(
+        [
+            "table4",
+            "--scale",
+            "tiny",
+            "--budget",
+            "0.3",
+            "--max-width",
+            "2",
+            "--no-simplify",
+            "--quiet",
+        ]
+    )
+    assert exit_code == 0
+    assert "Table 4" in capsys.readouterr().out

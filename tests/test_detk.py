@@ -6,7 +6,7 @@ from repro.core import DetKDecomposer
 from repro.core.base import SearchContext
 from repro.core.detk import DetKSearch
 from repro.decomp import validate_hd
-from repro.decomp.extended import Comp, full_comp
+from repro.decomp.extended import Comp
 from repro.decomp.validation import validate_extended_hd
 from repro.hypergraph import Hypergraph, generators
 

@@ -1,0 +1,233 @@
+"""Tests for the staged DecompositionEngine: stages, cache, components, lifting.
+
+Includes the corpus-wide differential test required by the pipeline design:
+engine-on (simplify + cache) and engine-off (raw search) must report the
+same success at every width, and every lifted decomposition must pass the
+independent validator on the *original* hypergraph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetKDecomposer, LogKDecomposer, make_decomposer
+from repro.bench.corpus import generate_corpus
+from repro.decomp import validate_hd
+from repro.decomp.decomposition import GeneralizedHypertreeDecomposition
+from repro.decomp.validation import is_valid_ghd
+from repro.exceptions import SolverError
+from repro.hypergraph import Hypergraph, generators
+from repro.pipeline import DecompositionEngine, ResultCache
+
+
+@pytest.fixture
+def engine():
+    """A fresh engine with a private cache (isolated from the default one)."""
+    return DecompositionEngine(cache=ResultCache())
+
+
+@pytest.fixture
+def messy():
+    """A hypergraph exercising all reductions plus two components."""
+    return Hypergraph(
+        {
+            "big": ["a", "b", "c", "d"],
+            "sub": ["a", "b"],
+            "dup": ["d", "c", "b", "a"],
+            "tail": ["d", "p1", "p2"],
+            # second connected component: a triangle
+            "t1": ["u", "v"],
+            "t2": ["v", "w"],
+            "t3": ["w", "u"],
+        },
+        name="messy",
+    )
+
+
+def test_engine_result_is_hosted_on_original(engine, messy):
+    decomposer = LogKDecomposer(engine=engine)
+    result = decomposer.decompose(messy, 2)
+    assert result.success
+    assert result.decomposition.hypergraph is messy
+    validate_hd(result.decomposition)
+    assert result.decomposition.width <= 2
+
+
+def test_stage_timings_are_recorded(engine, messy):
+    result = LogKDecomposer(engine=engine).decompose(messy, 2)
+    stages = result.statistics.stage_seconds
+    assert {"simplify", "cache", "decompose", "lift"} <= set(stages)
+    assert all(seconds >= 0 for seconds in stages.values())
+
+
+def test_engine_off_runs_raw(messy):
+    result = LogKDecomposer(use_engine=False).decompose(messy, 2)
+    assert result.success
+    assert result.statistics.stage_seconds == {}
+    validate_hd(result.decomposition)
+
+
+def test_cache_hit_returns_equivalent_result(engine, messy):
+    decomposer = LogKDecomposer(engine=engine)
+    first = decomposer.decompose(messy, 2)
+    hits_before = engine.cache.statistics.hits
+    second = decomposer.decompose(messy, 2)
+    assert engine.cache.statistics.hits == hits_before + 1
+    assert second.success == first.success
+    assert "decompose" not in second.statistics.stage_seconds  # no search ran
+    validate_hd(second.decomposition)
+    assert second.decomposition.width == first.decomposition.width
+    # Replayed statistics match the producing run's counters.
+    assert second.statistics.recursive_calls == first.statistics.recursive_calls
+
+
+def test_cache_shared_across_equal_instances(engine):
+    decomposer = DetKDecomposer(engine=engine)
+    a = generators.cycle(8)
+    b = Hypergraph(dict(reversed(list(a.edges_as_dict().items()))), name="other")
+    assert a.canonical_hash() == b.canonical_hash()
+    assert decomposer.decompose(a, 2).success
+    hits_before = engine.cache.statistics.hits
+    result = decomposer.decompose(b, 2)
+    assert engine.cache.statistics.hits == hits_before + 1
+    assert result.success
+    # The hit is re-hosted on the queried hypergraph, not the cached one.
+    assert result.decomposition.hypergraph is b
+    validate_hd(result.decomposition)
+
+
+def test_cache_respects_algorithm_configuration(engine):
+    h = generators.cycle(8)
+    assert DetKDecomposer(engine=engine, use_cache=True).decompose(h, 2).success
+    stores_before = engine.cache.statistics.stores
+    assert DetKDecomposer(engine=engine, use_cache=False).decompose(h, 2).success
+    # Different configuration -> different key -> a second entry, not a hit.
+    assert engine.cache.statistics.stores == stores_before + 1
+
+
+def test_negative_answers_are_cached(engine):
+    decomposer = LogKDecomposer(engine=engine)
+    h = generators.cycle(8)
+    assert not decomposer.decompose(h, 1).success
+    hits_before = engine.cache.statistics.hits
+    again = decomposer.decompose(h, 1)
+    assert not again.success and not again.timed_out
+    assert engine.cache.statistics.hits == hits_before + 1
+
+
+def test_timeout_budget_is_shared_across_components(engine):
+    import time as _time
+
+    # Three disjoint hard components: the engine must grant the *call* one
+    # budget, not one budget per component.
+    edges: dict[str, list[str]] = {}
+    for part in range(3):
+        clique = generators.clique(7)
+        for name, vertices in clique.edges_as_dict().items():
+            edges[f"c{part}_{name}"] = [f"p{part}_{v}" for v in vertices]
+    h = Hypergraph(edges, name="three-cliques")
+    decomposer = DetKDecomposer(engine=engine, timeout=0.4)
+    start = _time.monotonic()
+    result = decomposer.decompose(h, 3)
+    elapsed = _time.monotonic() - start
+    assert result.timed_out
+    assert elapsed < 0.4 * 2  # one budget overall, not 3 x 0.4
+
+
+def test_timeouts_are_not_cached(engine):
+    decomposer = DetKDecomposer(engine=engine, timeout=0.0)
+    h = generators.clique(7)
+    first = decomposer.decompose(h, 3)
+    assert first.timed_out
+    second = decomposer.decompose(h, 3)
+    assert second.timed_out  # a decided answer was never stored
+
+
+def test_cache_eviction_is_bounded():
+    cache = ResultCache(max_entries=2)
+    engine = DecompositionEngine(cache=cache)
+    decomposer = LogKDecomposer(engine=engine)
+    for n in (4, 5, 6, 7):
+        decomposer.decompose(generators.cycle(n), 2)
+    assert len(cache) <= 2
+    assert cache.statistics.evictions >= 2
+
+
+def test_component_splitting_produces_one_tree(engine, messy):
+    result = LogKDecomposer(engine=engine).decompose(messy, 2)
+    # Both components are covered by a single decomposition tree.
+    covered = set()
+    for node in result.decomposition.nodes():
+        covered |= node.bag
+    assert covered == messy.vertices
+
+
+def test_split_components_can_be_disabled(messy):
+    engine = DecompositionEngine(split_components=False, cache=None)
+    result = LogKDecomposer(engine=engine).decompose(messy, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+
+
+def test_validation_stage(engine, messy):
+    engine.validate = True
+    result = LogKDecomposer(engine=engine).decompose(messy, 2)
+    assert result.success
+    assert "validate" in result.statistics.stage_seconds
+
+
+def test_simplify_can_be_disabled(messy):
+    engine = DecompositionEngine(simplify=False, cache=None)
+    result = LogKDecomposer(engine=engine).decompose(messy, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+
+
+def test_ghd_results_keep_their_kind(engine, messy):
+    result = make_decomposer("ghd", engine=engine).decompose(messy, 2)
+    assert result.success
+    assert isinstance(result.decomposition, GeneralizedHypertreeDecomposition)
+    assert result.decomposition.kind == "ghd"
+    assert is_valid_ghd(result.decomposition)
+    # And a cache hit preserves the kind as well.
+    again = make_decomposer("ghd", engine=engine).decompose(messy, 2)
+    assert isinstance(again.decomposition, GeneralizedHypertreeDecomposition)
+
+
+def test_engine_rejects_empty_hypergraph(engine):
+    with pytest.raises(SolverError):
+        LogKDecomposer(engine=engine).decompose(Hypergraph({}), 1)
+
+
+# --------------------------------------------------------------------------- #
+# corpus differential: engine on vs engine off
+# --------------------------------------------------------------------------- #
+def _tiny_corpus():
+    return [
+        inst
+        for inst in generate_corpus(scale="tiny")
+        if inst.num_edges <= 30
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["logk", "detk", "hybrid"])
+def test_differential_engine_on_vs_off_over_corpus(algorithm):
+    engine = DecompositionEngine(cache=ResultCache())
+    for instance in _tiny_corpus():
+        h = instance.hypergraph
+        optimum_on = optimum_off = None
+        for k in (1, 2, 3):
+            on = make_decomposer(algorithm, engine=engine).decompose(h, k)
+            off = make_decomposer(algorithm, use_engine=False).decompose(h, k)
+            assert on.success == off.success, (instance.name, algorithm, k)
+            assert not on.timed_out and not off.timed_out
+            if on.success:
+                # Lifted decompositions validate on the *original* instance.
+                assert on.decomposition.hypergraph is h
+                validate_hd(on.decomposition)
+                assert on.decomposition.width <= k
+                validate_hd(off.decomposition)
+                if optimum_on is None:
+                    optimum_on, optimum_off = k, k
+                break
+        assert optimum_on == optimum_off

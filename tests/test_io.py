@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ParseError
-from repro.hypergraph import Hypergraph, parse_hypergraph, read_hypergraph, write_hypergraph
+from repro.hypergraph import parse_hypergraph, read_hypergraph, write_hypergraph
 from repro.hypergraph.io import to_hyperbench_format, to_pace_format
 
 

@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.core import LogKDecomposer, ParallelLogKDecomposer
 from repro.core.logk import LogKSearch
 from repro.core.base import SearchContext
 from repro.core.fragments import fragment_to_decomposition
+from repro.core.parallel import _worker_search
 from repro.decomp import validate_hd
 from repro.decomp.covers import CoverEnumerator
 from repro.decomp.extended import full_comp
-from repro.exceptions import SolverError
+from repro.exceptions import SolverError, TimeoutExceeded
 from repro.hypergraph import generators
 
 
@@ -100,3 +104,66 @@ def test_partitioned_search_is_complete_unionwise(cycle10):
 def test_worker_statistics_are_merged(cycle10):
     result = ParallelLogKDecomposer(num_workers=2, hybrid=False).decompose(cycle10, 2)
     assert result.statistics.recursive_calls > 0
+
+
+# --------------------------------------------------------------------------- #
+# cooperative cancellation (thread backend)
+# --------------------------------------------------------------------------- #
+def test_search_context_honours_cancel_event(cycle10):
+    event = threading.Event()
+    context = SearchContext(cycle10, 2, cancel_event=event)
+    for _ in range(200):
+        context.check_timeout()  # not set: never raises
+    event.set()
+    with pytest.raises(TimeoutExceeded):
+        context.force_timeout_check()
+    with pytest.raises(TimeoutExceeded):
+        for _ in range(200):  # throttled check trips within one stride
+            context.check_timeout()
+
+
+def test_cancelled_worker_aborts_quickly():
+    # A refutation on a large chorded cycle takes far longer than 0.5 s; a
+    # pre-set cancellation event must make the worker bail out almost
+    # immediately, reporting "no answer" (timed_out) rather than a refutation.
+    hard = generators.with_chords(generators.cycle(60), 5, seed=4)
+    event = threading.Event()
+    event.set()
+    start = time.monotonic()
+    timed_out, success, fragment, _stats = _worker_search(
+        hard.edges_as_dict(),
+        hard.name,
+        2,
+        list(range(hard.num_edges)),
+        None,
+        False,
+        "WeightedCount",
+        400.0,
+        cancel_event=event,
+    )
+    assert time.monotonic() - start < 0.5
+    assert timed_out and not success and fragment is None
+
+
+def test_thread_backend_sets_cancel_event_on_success(cycle10, monkeypatch):
+    # Observe the cancellation event the coordinator hands to its workers.
+    from repro.core import parallel as parallel_module
+
+    seen: list[threading.Event] = []
+    original = parallel_module._worker_search
+
+    def spy(*args, cancel_event=None, **kwargs):
+        if cancel_event is not None:
+            seen.append(cancel_event)
+        return original(*args, cancel_event=cancel_event, **kwargs)
+
+    monkeypatch.setattr(parallel_module, "_worker_search", spy)
+    # use_engine=False: the engine's result cache could otherwise answer from
+    # an earlier test without ever starting workers.
+    decomposer = ParallelLogKDecomposer(
+        num_workers=2, backend="thread", hybrid=False, use_engine=False
+    )
+    result = decomposer.decompose(cycle10, 2)
+    assert result.success
+    assert seen and all(event is seen[0] for event in seen)
+    assert seen[0].is_set()

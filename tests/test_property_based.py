@@ -10,6 +10,7 @@ from repro.decomp.components import components, covered_items
 from repro.decomp.extended import full_comp
 from repro.hypergraph import Hypergraph
 from repro.hypergraph.properties import is_alpha_acyclic
+from repro.pipeline import DecompositionEngine, ResultCache, lift_decomposition, simplify
 from repro.query.relation import Relation
 
 
@@ -90,6 +91,46 @@ def test_success_is_monotone_in_k(hypergraph):
         current = LogKDecomposer().decompose(hypergraph, k).success
         assert current or not previous  # once True it must stay True
         previous = current or previous
+
+
+# --------------------------------------------------------------------------- #
+# pipeline: simplification, lifting, engine equivalence
+# --------------------------------------------------------------------------- #
+@given(_small_hypergraphs)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_simplify_decompose_lift_yields_valid_hd_on_original(hypergraph):
+    trace = simplify(hypergraph)
+    for k in (1, 2):
+        reduced_result = LogKDecomposer(use_engine=False).decompose(trace.reduced, k)
+        raw_result = LogKDecomposer(use_engine=False).decompose(hypergraph, k)
+        # Simplification is width-preserving: same yes/no answer at every k.
+        assert reduced_result.success == raw_result.success
+        if reduced_result.success:
+            lifted = lift_decomposition(trace, reduced_result.decomposition)
+            assert lifted.hypergraph is hypergraph
+            validate_hd(lifted)
+            assert lifted.width <= k
+
+
+@given(_small_hypergraphs)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_agrees_with_raw_search(hypergraph):
+    engine = DecompositionEngine(cache=ResultCache())
+    for k in (1, 2):
+        on = LogKDecomposer(engine=engine).decompose(hypergraph, k)
+        off = LogKDecomposer(use_engine=False).decompose(hypergraph, k)
+        assert on.success == off.success
+        if on.success:
+            validate_hd(on.decomposition)
+            assert on.decomposition.hypergraph is hypergraph
+
+
+@given(_small_hypergraphs)
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_canonical_hash_is_edge_order_invariant(hypergraph):
+    edges = list(hypergraph.edges_as_dict().items())
+    permuted = Hypergraph(dict(reversed(edges)), name="permuted")
+    assert permuted.canonical_hash() == hypergraph.canonical_hash()
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,97 @@
+"""Unit tests for the declarative decomposer registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ALGORITHMS, make_decomposer
+from repro.core.detk import DetKDecomposer
+from repro.core.hybrid import HybridDecomposer
+from repro.exceptions import SolverError
+from repro.pipeline import DecomposerRegistry, registry
+
+
+def test_builtins_match_legacy_table():
+    assert set(ALGORITHMS) <= set(registry.available())
+    for name, cls in ALGORITHMS.items():
+        assert isinstance(registry.build(name, use_engine=False), cls)
+
+
+def test_build_by_alias():
+    assert isinstance(registry.build("log-k-decomp-hybrid"), HybridDecomposer)
+    assert isinstance(registry.build("det-k-decomp"), DetKDecomposer)
+
+
+def test_build_forwards_options():
+    decomposer = registry.build("detk", timeout=1.5, use_cache=False)
+    assert decomposer.timeout == 1.5
+    assert decomposer.use_cache is False
+
+
+def test_unknown_name_raises():
+    with pytest.raises(SolverError):
+        registry.build("quantum-annealer")
+    with pytest.raises(SolverError):
+        registry.resolve("quantum-annealer")
+
+
+def test_make_decomposer_accepts_aliases():
+    assert isinstance(make_decomposer("log-k-decomp"), type(make_decomposer("logk")))
+
+
+def test_contains_and_describe():
+    assert "logk" in registry
+    assert "log-k-decomp" in registry
+    assert "nope" not in registry
+    rows = registry.describe()
+    assert any(name == "hybrid" and description for name, _, description in rows)
+
+
+def test_register_custom_factory_with_defaults():
+    fresh = DecomposerRegistry()
+
+    class Dummy:
+        def __init__(self, timeout=None, flavour="plain"):
+            self.timeout = timeout
+            self.flavour = flavour
+
+    fresh.register("dummy", factory=Dummy, aliases=("d",), defaults={"flavour": "spicy"})
+    built = fresh.build("d", timeout=3)
+    assert built.flavour == "spicy" and built.timeout == 3
+    # Explicit options override registered defaults.
+    assert fresh.build("dummy", flavour="mild").flavour == "mild"
+
+
+def test_duplicate_registration_rejected_and_overwritable():
+    fresh = DecomposerRegistry()
+    fresh.register("x", factory=object)
+    with pytest.raises(SolverError):
+        fresh.register("x", factory=object)
+    with pytest.raises(SolverError):
+        fresh.register("y", factory=object, aliases=("x",))
+    fresh.register("x", factory=dict, overwrite=True)
+    assert isinstance(fresh.build("x"), dict)
+
+
+def test_overwrite_drops_replaced_aliases():
+    fresh = DecomposerRegistry()
+    fresh.register("x", factory=object, aliases=("old-alias",))
+    fresh.register("x", factory=dict, overwrite=True, aliases=("new-alias",))
+    assert "old-alias" not in fresh  # no dangling alias -> no KeyError later
+    assert isinstance(fresh.build("new-alias"), dict)
+    with pytest.raises(SolverError):
+        fresh.build("old-alias")
+
+
+def test_registration_requires_some_factory():
+    fresh = DecomposerRegistry()
+    with pytest.raises(SolverError):
+        fresh.register("ghost")
+
+
+def test_unregister_removes_aliases():
+    fresh = DecomposerRegistry()
+    fresh.register("x", factory=object, aliases=("ex",))
+    fresh.unregister("ex")
+    assert "x" not in fresh
+    assert "ex" not in fresh

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.corpus import Instance, generate_corpus
+from repro.bench.corpus import Instance
 from repro.bench.runner import (
     DecomposerSpec,
     default_method_specs,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import LogKDecomposer, decompose
 from repro.decomp.components import components
 from repro.decomp.extended import Comp, FragmentNode, full_comp
