@@ -9,6 +9,14 @@ the wall-clock time for a representative positive and negative instance:
 * ``parent_overlap_pruning`` — parent labels must intersect ∪λ(c),
 * ``require_balanced`` — the balanced-separator filter itself (also removes
   the logarithmic depth guarantee).
+
+Two search-kernel switches ride along (PR 3):
+
+* ``label_pruning`` — the branch-and-bound label enumerator vs. the
+  reference ``itertools.combinations`` implementation (identical label
+  sequence, different amount of work),
+* ``subedge_domination`` — dropping pool edges whose component-restricted
+  vertex sets are contained in another pool edge's (shrinks the label space).
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ VARIANTS = {
     "no allowed-edge restriction": {"restrict_allowed_edges": False},
     "no parent-overlap pruning": {"parent_overlap_pruning": False},
     "no balancedness requirement": {"require_balanced": False},
+    "no subedge domination": {"subedge_domination": False},
+    "no label pruning (reference enum)": {"label_pruning": False},
 }
 
 INSTANCES = [
@@ -48,13 +58,17 @@ def test_ablation(benchmark):
                 elapsed = time.perf_counter() - start
                 if expected is not None:
                     assert result.success == expected, (label, name)
+                stats = result.statistics
                 rows.append(
                     [
                         label,
                         name,
                         "yes" if result.success else "no",
-                        str(result.statistics.labels_tried),
-                        str(result.statistics.max_recursion_depth),
+                        str(stats.labels_tried),
+                        str(stats.enum_branches_pruned),
+                        str(stats.enum_domination_skips),
+                        str(stats.splitter_memo_hits),
+                        str(stats.max_recursion_depth),
                         f"{elapsed:.3f}",
                     ]
                 )
@@ -63,7 +77,17 @@ def test_ablation(benchmark):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     table = Table(
         "Ablation: effect of the Appendix C optimisations",
-        ["Variant", "Instance", "Solved", "Labels tried", "Max depth", "Time (s)"],
+        [
+            "Variant",
+            "Instance",
+            "Solved",
+            "Labels tried",
+            "Branches pruned",
+            "Domination skips",
+            "Splitter memo hits",
+            "Max depth",
+            "Time (s)",
+        ],
     )
     for row in rows:
         table.add_row(row)

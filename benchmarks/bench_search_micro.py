@@ -1,0 +1,172 @@
+"""Micro-benchmarks of the search kernels (PR 3).
+
+Old-vs-new pairs for the two inner loops every decomposer lives in:
+
+* λ-label enumeration — the branch-and-bound enumerator
+  (:meth:`CoverEnumerator.labels`) against the retained reference
+  implementation (:meth:`CoverEnumerator.labels_reference`), unconstrained
+  and under a det-k-style Conn-covering requirement;
+* component splitting — the memoized incidence-indexed
+  :class:`ComponentSplitter` against a per-separator fresh, unmemoized split;
+* the combined hot loop (enumerate a label, compute its union, test
+  balancedness via ``largest_size``) that dominates the ChildLoop of
+  Algorithm 2, on a label-dense clique instance — the pairing the
+  acceptance criterion's ">= 2x" refers to;
+* end-to-end decomposer runs with the kernels on vs. off (the
+  ``label_pruning`` / ``subedge_domination`` ablation flags).
+
+Every pair asserts that old and new agree on the computed result, so these
+double as coarse differential tests at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetKDecomposer, LogKDecomposer
+from repro.decomp.components import ComponentSplitter
+from repro.decomp.covers import CoverEnumerator, label_union
+from repro.decomp.extended import full_comp
+from repro.hypergraph import generators
+
+# Label-dense instances: cliques maximise the number of candidate labels per
+# pool size, chorded cycles give realistic mid-density separator searches.
+CLIQUE9 = generators.clique(9)
+CHORDED = generators.with_chords(generators.cycle(24), 5, seed=2)
+
+
+# --------------------------------------------------------------------------- #
+# enumeration
+# --------------------------------------------------------------------------- #
+def test_enumerate_unconstrained_new(benchmark):
+    enumerator = CoverEnumerator(CHORDED, 3)
+    count = benchmark(lambda: sum(1 for _ in enumerator.labels()))
+    assert count == sum(1 for _ in enumerator.labels_reference())
+
+
+def test_enumerate_unconstrained_reference(benchmark):
+    enumerator = CoverEnumerator(CHORDED, 3)
+    benchmark(lambda: sum(1 for _ in enumerator.labels_reference()))
+
+
+_COVER = CLIQUE9.edge_bits(0) | CLIQUE9.edge_bits(20) | CLIQUE9.edge_bits(33)
+
+
+def test_enumerate_cover_constrained_new(benchmark):
+    enumerator = CoverEnumerator(CLIQUE9, 3)
+    count = benchmark(lambda: sum(1 for _ in enumerator.labels(cover=_COVER)))
+    assert count == sum(1 for _ in enumerator.labels_reference(cover=_COVER))
+
+
+def test_enumerate_cover_constrained_reference(benchmark):
+    enumerator = CoverEnumerator(CLIQUE9, 3)
+    benchmark(lambda: sum(1 for _ in enumerator.labels_reference(cover=_COVER)))
+
+
+# --------------------------------------------------------------------------- #
+# splitting
+# --------------------------------------------------------------------------- #
+_SEPARATORS = [
+    CHORDED.edge_bits(i) | CHORDED.edge_bits((i + 9) % CHORDED.num_edges)
+    for i in range(CHORDED.num_edges)
+]
+
+
+def test_split_repeated_memoized(benchmark):
+    comp = full_comp(CHORDED)
+
+    def run():
+        splitter = ComponentSplitter(CHORDED, comp)
+        return sum(
+            splitter.largest_size(sep) for _ in range(10) for sep in _SEPARATORS
+        )
+
+    total = benchmark(run)
+    fresh = ComponentSplitter(CHORDED, comp, memoize=False)
+    assert total == 10 * sum(fresh.largest_size(sep) for sep in _SEPARATORS)
+
+
+def test_split_repeated_unmemoized(benchmark):
+    comp = full_comp(CHORDED)
+
+    def run():
+        splitter = ComponentSplitter(CHORDED, comp, memoize=False)
+        return sum(
+            splitter.largest_size(sep) for _ in range(10) for sep in _SEPARATORS
+        )
+
+    benchmark(run)
+
+
+# --------------------------------------------------------------------------- #
+# combined: enumeration + split (the ChildLoop hot path)
+# --------------------------------------------------------------------------- #
+def _child_loop(host, k, use_new: bool) -> int:
+    """Enumerate child labels and test each for balancedness, old or new way."""
+    comp = full_comp(host)
+    half = comp.size / 2
+    enumerator = CoverEnumerator(host, k)
+    balanced = 0
+    if use_new:
+        splitter = ComponentSplitter(host, comp)
+        labels = enumerator.labels(
+            require_from=comp.edges, component_vertices=comp.vertices(host)
+        )
+    else:
+        splitter = ComponentSplitter(host, comp, memoize=False)
+        labels = enumerator.labels_reference(require_from=comp.edges)
+    for label in labels:
+        if splitter.largest_size(label_union(host, label)) <= half:
+            balanced += 1
+    return balanced
+
+
+def test_child_loop_clique_new(benchmark):
+    # Width-safe domination collapses the clique's interchangeable edges, so
+    # old and new agree on "a balanced label exists", not on raw counts.
+    found = benchmark(lambda: _child_loop(CLIQUE9, 3, use_new=True))
+    reference = _child_loop(CLIQUE9, 3, use_new=False)
+    assert (found > 0) == (reference > 0)
+
+
+def test_child_loop_clique_reference(benchmark):
+    benchmark(lambda: _child_loop(CLIQUE9, 3, use_new=False))
+
+
+def test_child_loop_chorded_new(benchmark):
+    found = benchmark(lambda: _child_loop(CHORDED, 2, use_new=True))
+    reference = _child_loop(CHORDED, 2, use_new=False)
+    assert (found > 0) == (reference > 0)
+
+
+def test_child_loop_chorded_reference(benchmark):
+    benchmark(lambda: _child_loop(CHORDED, 2, use_new=False))
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end: kernels on vs. off
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "name,options",
+    [
+        ("kernels-on", {}),
+        ("kernels-off", {"label_pruning": False, "subedge_domination": False}),
+    ],
+)
+def test_detk_negative_clique(benchmark, name, options):
+    decomposer = DetKDecomposer(use_engine=False, **options)
+    result = benchmark(decomposer.decompose, generators.clique(7), 2)
+    assert not result.success
+
+
+@pytest.mark.parametrize(
+    "name,options",
+    [
+        ("kernels-on", {}),
+        ("kernels-off", {"label_pruning": False, "subedge_domination": False}),
+    ],
+)
+def test_logk_chorded_cycle(benchmark, name, options):
+    decomposer = LogKDecomposer(use_engine=False, **options)
+    result = benchmark(decomposer.decompose, CHORDED, 3)
+    assert result.success

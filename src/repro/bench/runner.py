@@ -134,6 +134,10 @@ class RunRecord:
     timed_out: bool
     decisions: dict[int, bool] = field(default_factory=dict)
     max_recursion_depth: int = 0
+    #: Accumulated search-kernel counters (labels tried, branches pruned,
+    #: domination skips, splitter memo traffic) over all (k) runs of this
+    #: record; see :meth:`repro.core.base.SearchStatistics.search_counters`.
+    search_counters: dict[str, int] = field(default_factory=dict)
 
     def decides_width_at_most(self, width: int) -> bool:
         """True iff this run decided the question ``hw <= width``.
@@ -184,11 +188,14 @@ def run_parametrised(
     timed_out = False
     optimal_width: int | None = None
     max_depth = 0
+    counters: dict[str, int] = {}
     for k in range(1, max_width + 1):
         decomposer = factory(time_budget)
         result = decomposer.decompose(instance.hypergraph, k)
         total_runtime += result.elapsed
         max_depth = max(max_depth, result.statistics.max_recursion_depth)
+        for key, value in result.statistics.search_counters().items():
+            counters[key] = counters.get(key, 0) + value
         if result.timed_out:
             timed_out = True
             break
@@ -210,6 +217,7 @@ def run_parametrised(
         timed_out=timed_out,
         decisions=decisions,
         max_recursion_depth=max_depth,
+        search_counters=counters,
     )
 
 

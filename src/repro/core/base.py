@@ -50,6 +50,13 @@ class SearchStatistics:
     cache_hits: int = 0
     cache_misses: int = 0
     subproblems_delegated: int = 0
+    #: Search-kernel counters (PR 3): subtrees cut by the branch-and-bound
+    #: label enumerator, pool edges dropped by subedge domination, and
+    #: component-splitter memo traffic.  The ablation benches report these.
+    enum_branches_pruned: int = 0
+    enum_domination_skips: int = 0
+    splitter_memo_hits: int = 0
+    splitter_memo_misses: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record_call(self, depth: int) -> None:
@@ -70,8 +77,22 @@ class SearchStatistics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.subproblems_delegated += other.subproblems_delegated
+        self.enum_branches_pruned += other.enum_branches_pruned
+        self.enum_domination_skips += other.enum_domination_skips
+        self.splitter_memo_hits += other.splitter_memo_hits
+        self.splitter_memo_misses += other.splitter_memo_misses
         for stage, seconds in other.stage_seconds.items():
             self.record_stage(stage, seconds)
+
+    def search_counters(self) -> dict[str, int]:
+        """The kernel counters as a dict (used by the benches and reports)."""
+        return {
+            "labels_tried": self.labels_tried,
+            "enum_branches_pruned": self.enum_branches_pruned,
+            "enum_domination_skips": self.enum_domination_skips,
+            "splitter_memo_hits": self.splitter_memo_hits,
+            "splitter_memo_misses": self.splitter_memo_misses,
+        }
 
 
 @dataclass
@@ -133,6 +154,7 @@ class SearchContext:
         self.k = k
         self.stats = stats if stats is not None else SearchStatistics()
         self.enumerator = CoverEnumerator(host, k)
+        self.enumerator.stats = self.stats
         self.deadline = None if timeout is None else time.monotonic() + timeout
         #: Optional :class:`threading.Event` checked alongside the deadline;
         #: lets a coordinator (the parallel thread backend) abort workers that

@@ -33,9 +33,17 @@ class DetKSearch:
     the "leaf engine" of the hybrid decomposer.
     """
 
-    def __init__(self, context: SearchContext, use_cache: bool = True) -> None:
+    def __init__(
+        self,
+        context: SearchContext,
+        use_cache: bool = True,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
+    ) -> None:
         self.context = context
         self.use_cache = use_cache
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination and label_pruning
         self._cache: dict[tuple[frozenset[int], tuple[int, ...], int], FragmentNode | None] = {}
 
     # ------------------------------------------------------------------ #
@@ -88,9 +96,12 @@ class DetKSearch:
         context = self.context
         host = context.host
         comp_vertices = comp.vertices(host)
-        splitter = ComponentSplitter(host, comp)
+        splitter = ComponentSplitter(host, comp, stats=context.stats)
         for lam in context.enumerator.labels(
-            require_from=comp.edges, cover=conn
+            require_from=comp.edges,
+            cover=conn,
+            component_vertices=comp_vertices if self.subedge_domination else None,
+            pruning=self.label_pruning,
         ):
             context.stats.labels_tried += 1
             context.check_timeout()
@@ -131,13 +142,22 @@ class DetKDecomposer(Decomposer):
         self,
         timeout: float | None = None,
         use_cache: bool = True,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
         self.use_cache = use_cache
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination
 
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
-        search = DetKSearch(context, use_cache=self.use_cache)
+        search = DetKSearch(
+            context,
+            use_cache=self.use_cache,
+            label_pruning=self.label_pruning,
+            subedge_domination=self.subedge_domination,
+        )
         fragment = search.search(full_comp(context.host), conn=0)
         if fragment is None:
             return None

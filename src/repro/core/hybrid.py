@@ -110,6 +110,8 @@ class HybridDecomposer(Decomposer):
         negative_base_case: bool = True,
         restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
@@ -118,6 +120,8 @@ class HybridDecomposer(Decomposer):
         self.negative_base_case = negative_base_case
         self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination
 
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
         fragment = self._search_fragment(context)
@@ -126,7 +130,11 @@ class HybridDecomposer(Decomposer):
         return fragment_to_decomposition(context.host, fragment)
 
     def _search_fragment(self, context: SearchContext) -> FragmentNode | None:
-        detk = DetKSearch(context)
+        detk = DetKSearch(
+            context,
+            label_pruning=self.label_pruning,
+            subedge_domination=self.subedge_domination,
+        )
 
         def delegate(comp: Comp, conn: int, depth: int) -> FragmentNode | None:
             return detk.search(comp, conn, depth)
@@ -139,6 +147,8 @@ class HybridDecomposer(Decomposer):
             negative_base_case=self.negative_base_case,
             restrict_allowed_edges=self.restrict_allowed_edges,
             parent_overlap_pruning=self.parent_overlap_pruning,
+            label_pruning=self.label_pruning,
+            subedge_domination=self.subedge_domination,
             leaf_delegate=delegate,
             delegate_predicate=should_delegate,
         )

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
-from ..decomp.components import ComponentSplitter, components
+from ..decomp.components import ComponentSplitter
 from ..decomp.covers import label_union
+from ..lru import BoundedLRU
 from ..decomp.decomposition import HypertreeDecomposition
 from ..decomp.extended import Comp, FragmentNode, full_comp
 from .base import Decomposer, SearchContext
@@ -54,6 +55,8 @@ class LogKSearch:
         parent_overlap_pruning: bool = True,
         require_balanced: bool = True,
         use_cache: bool = True,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
         leaf_delegate: LeafDelegate | None = None,
         delegate_predicate: DelegatePredicate | None = None,
         root_partition: Iterable[int] | None = None,
@@ -64,6 +67,12 @@ class LogKSearch:
         self.parent_overlap_pruning = parent_overlap_pruning
         self.require_balanced = require_balanced
         self.use_cache = use_cache
+        # Search-kernel switches (same ablation spirit as the flags above):
+        # label_pruning selects the branch-and-bound enumerator vs. the
+        # reference implementation; subedge_domination drops pool edges whose
+        # component-restricted vertex set is contained in another pool edge's.
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination and label_pruning
         self.leaf_delegate = leaf_delegate
         self.delegate_predicate = delegate_predicate
         self.root_partition = frozenset(root_partition) if root_partition is not None else None
@@ -77,6 +86,18 @@ class LogKSearch:
             tuple[frozenset[int], tuple[int, ...], int, frozenset[int]],
             FragmentNode | None,
         ] = {}
+        # Memoised splitters for the inner comp_down splits of the parent
+        # loop: the same oversized component reappears for many λ(p), and its
+        # splitter then serves the [χ(c)]-splits of every paired child label.
+        self._splitters: BoundedLRU = BoundedLRU(256)
+
+    def _splitter_for(self, comp: Comp) -> ComponentSplitter:
+        key = (comp.edges, comp.specials)
+        splitter = self._splitters.get(key)
+        if splitter is None:
+            splitter = ComponentSplitter(self.context.host, comp, stats=self.context.stats)
+            self._splitters.put(key, splitter)
+        return splitter
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -136,10 +157,13 @@ class LogKSearch:
         )
         comp_vertices = comp.vertices(host)
         half = comp.size / 2
-        splitter = ComponentSplitter(host, comp)
+        # Pooled splitter: the same comp recurs across search calls under
+        # different (conn, allowed) keys and keeps its incidence index and
+        # split memo across those visits.
+        splitter = self._splitter_for(comp)
 
         # ----- ChildLoop (lines 11-43) --------------------------------- #
-        child_labels = self._child_labels(comp, allowed_pool, depth)
+        child_labels = self._child_labels(comp, allowed_pool, comp_vertices, depth)
         for lam_c in child_labels:
             context.stats.labels_tried += 1
             context.check_timeout()
@@ -172,14 +196,24 @@ class LogKSearch:
     # pieces of the search
     # ------------------------------------------------------------------ #
     def _child_labels(
-        self, comp: Comp, allowed_pool: frozenset[int], depth: int
+        self, comp: Comp, allowed_pool: frozenset[int], comp_vertices: int, depth: int
     ) -> Iterable[tuple[int, ...]]:
         enumerator = self.context.enumerator
+        domination = comp_vertices if self.subedge_domination else None
         if depth == 1 and self.root_partition is not None:
             return enumerator.labels_for_partition(
-                allowed_pool, sorted(self.root_partition), require_from=comp.edges
+                allowed_pool,
+                sorted(self.root_partition),
+                require_from=comp.edges,
+                component_vertices=domination,
+                pruning=self.label_pruning,
             )
-        return enumerator.labels(allowed=allowed_pool, require_from=comp.edges)
+        return enumerator.labels(
+            allowed=allowed_pool,
+            require_from=comp.edges,
+            component_vertices=domination,
+            pruning=self.label_pruning,
+        )
 
     def _try_root(
         self,
@@ -221,10 +255,19 @@ class LogKSearch:
         host = context.host
         half = comp.size / 2
         if splitter is None:
-            splitter = ComponentSplitter(host, comp)
+            splitter = self._splitter_for(comp)
         overlap = lam_c_union if self.parent_overlap_pruning else None
+        # strict_domination=False: the oversized-component existence test a
+        # few lines below is not monotone in the parent label's restriction,
+        # so only the outcome-preserving equal-restriction collapse applies
+        # here (see the covers module docstring).
         for lam_p in context.enumerator.labels(
-            allowed=allowed_pool, require_from=comp.edges, overlap_with=overlap
+            allowed=allowed_pool,
+            require_from=comp.edges,
+            overlap_with=overlap,
+            component_vertices=comp_vertices if self.subedge_domination else None,
+            strict_domination=False,
+            pruning=self.label_pruning,
         ):
             context.stats.labels_tried += 1
             context.check_timeout()
@@ -242,7 +285,7 @@ class LogKSearch:
             if down_vertices & lam_p_union & ~chi_c:
                 continue  # connectedness check, line 31
 
-            sub_components = components(host, comp_down, chi_c)
+            sub_components = self._splitter_for(comp_down).split(chi_c)
             children: list[FragmentNode] = []
             failed = False
             for sub in sub_components:
@@ -284,6 +327,8 @@ class LogKDecomposer(Decomposer):
         restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
         require_balanced: bool = True,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
@@ -291,6 +336,8 @@ class LogKDecomposer(Decomposer):
         self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
         self.require_balanced = require_balanced
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination
 
     def _make_search(self, context: SearchContext) -> LogKSearch:
         return LogKSearch(
@@ -299,6 +346,8 @@ class LogKDecomposer(Decomposer):
             restrict_allowed_edges=self.restrict_allowed_edges,
             parent_overlap_pruning=self.parent_overlap_pruning,
             require_balanced=self.require_balanced,
+            label_pruning=self.label_pruning,
+            subedge_domination=self.subedge_domination,
         )
 
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:

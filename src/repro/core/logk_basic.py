@@ -16,7 +16,7 @@ the ablation study uses it as the "no optimisations" reference point.
 
 from __future__ import annotations
 
-from ..decomp.components import components
+from ..decomp.components import ComponentSplitter
 from ..decomp.covers import label_union
 from ..decomp.decomposition import HypertreeDecomposition
 from ..decomp.extended import Comp, FragmentNode, full_comp
@@ -40,11 +40,12 @@ class LogKBasicSearch:
         context = self.context
         host = context.host
         whole = full_comp(host)
+        splitter = ComponentSplitter(host, whole, stats=context.stats)
         for lam_r in context.enumerator.labels():
             context.stats.labels_tried += 1
             context.check_timeout()
             lam_r_union = label_union(host, lam_r)
-            comps_r = components(host, whole, lam_r_union)
+            comps_r = splitter.split(lam_r_union)
             children: list[FragmentNode] = []
             rejected = False
             for component in comps_r:
@@ -77,19 +78,21 @@ class LogKBasicSearch:
             return special_leaf(comp.specials[0])
 
         half = comp.size / 2
+        splitter = ComponentSplitter(host, comp, stats=context.stats)
 
         # ParentLoop (lines 16-39).
         for lam_p in context.enumerator.labels():
             context.stats.labels_tried += 1
             context.check_timeout()
             lam_p_union = label_union(host, lam_p)
-            comps_p = components(host, comp, lam_p_union)
+            comps_p = splitter.split(lam_p_union)
             comp_down = next((c for c in comps_p if c.size > half), None)
             if comp_down is None:
                 continue
             down_vertices = comp_down.vertices(host)
             if down_vertices & conn & ~lam_p_union:
                 continue  # connectedness check, line 22
+            splitter_down = ComponentSplitter(host, comp_down, stats=context.stats)
 
             # ChildLoop (lines 24-39).
             for lam_c in context.enumerator.labels():
@@ -99,9 +102,9 @@ class LogKBasicSearch:
                 chi_c = lam_c_union & down_vertices
                 if down_vertices & lam_p_union & ~chi_c:
                     continue  # connectedness check, line 26
-                sub_components = components(host, comp_down, chi_c)
-                if any(sub.size > half for sub in sub_components):
+                if splitter_down.largest_size(chi_c) > half:
                     continue  # balancedness check, line 29
+                sub_components = splitter_down.split(chi_c)
 
                 children: list[FragmentNode] = []
                 failed = False

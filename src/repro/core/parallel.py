@@ -62,6 +62,8 @@ def _worker_search(
     hybrid: bool,
     metric_name: str,
     threshold: float,
+    label_pruning: bool = True,
+    subedge_domination: bool = True,
     cancel_event: threading.Event | None = None,
 ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
     """Worker entry point (module level so it can be pickled).
@@ -79,7 +81,11 @@ def _worker_search(
     leaf_delegate = None
     delegate_predicate = None
     if hybrid:
-        detk = DetKSearch(context)
+        detk = DetKSearch(
+            context,
+            label_pruning=label_pruning,
+            subedge_domination=subedge_domination,
+        )
         metric = make_metric(metric_name)
 
         def leaf_delegate(comp, conn, depth, _detk=detk):  # type: ignore[misc]
@@ -90,6 +96,8 @@ def _worker_search(
 
     search = LogKSearch(
         context,
+        label_pruning=label_pruning,
+        subedge_domination=subedge_domination,
         leaf_delegate=leaf_delegate,
         delegate_predicate=delegate_predicate,
         root_partition=partition,
@@ -116,6 +124,8 @@ class ParallelLogKDecomposer(Decomposer):
         hybrid: bool = True,
         metric: str = "WeightedCount",
         threshold: float = 400.0,
+        label_pruning: bool = True,
+        subedge_domination: bool = True,
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
@@ -128,6 +138,8 @@ class ParallelLogKDecomposer(Decomposer):
         self.hybrid = hybrid
         self.metric = metric
         self.threshold = threshold
+        self.label_pruning = label_pruning
+        self.subedge_domination = subedge_domination
 
     # ------------------------------------------------------------------ #
     # Decomposer interface
@@ -177,11 +189,18 @@ class ParallelLogKDecomposer(Decomposer):
                 timeout=self.timeout,
                 metric=self.metric,
                 threshold=self.threshold,
+                label_pruning=self.label_pruning,
+                subedge_domination=self.subedge_domination,
                 use_engine=False,
             )
         from .logk import LogKDecomposer
 
-        return LogKDecomposer(timeout=self.timeout, use_engine=False)
+        return LogKDecomposer(
+            timeout=self.timeout,
+            label_pruning=self.label_pruning,
+            subedge_domination=self.subedge_domination,
+            use_engine=False,
+        )
 
     def _worker_args(
         self,
@@ -199,6 +218,8 @@ class ParallelLogKDecomposer(Decomposer):
             self.hybrid,
             self.metric,
             self.threshold,
+            self.label_pruning,
+            self.subedge_domination,
         )
 
     def _run_processes(

@@ -5,9 +5,17 @@ an extended subhypergraph are [U]-adjacent if (f1 ∩ f2) \\ U ≠ ∅; the
 [U]-components are the maximal [U]-connected subsets of E' ∪ Sp.  Edges that
 are fully contained in U belong to no component (they are "covered" by U).
 
-The implementation groups items by the vertices they contain outside U and
-merges groups with a union-find structure, which is linear in the total number
-of vertex occurrences rather than quadratic in the number of edges.
+The splitter is built for the search hot path, where the *same* component is
+split against thousands of candidate separators:
+
+* a vertex → items incidence index is computed once per splitter, so each
+  split is a flood fill over exactly the vertices outside the separator
+  instead of a per-item bit scan rebuilt from scratch;
+* results are memoised under the *effective* separator
+  ``separator & V(comp)`` — λ-labels with equal restriction to the component
+  (extremely common in the parent-label loop) share one split;
+* :meth:`ComponentSplitter.largest_size` stops early once the remaining
+  unprocessed items cannot beat the largest component found so far.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from ..hypergraph import Hypergraph
+from ..lru import BoundedLRU
 from .extended import Comp
 
 __all__ = [
@@ -25,6 +34,11 @@ __all__ = [
     "vertices_of_components",
 ]
 
+#: Default bound on the number of memoised effective separators per splitter.
+#: Splitters are per-subproblem objects, so this mostly guards pathological
+#: subproblems with very large candidate pools.
+DEFAULT_MEMO_SIZE = 4096
+
 
 class ComponentSplitter:
     """Repeatedly split one component with many different separators.
@@ -32,106 +46,183 @@ class ComponentSplitter:
     The separator searches of log-k-decomp and det-k-decomp compute the
     [U]-components of the *same* extended subhypergraph for thousands of
     candidate separators U.  This helper precomputes the per-item vertex
-    bitmasks once and offers two operations:
+    bitmasks and a vertex incidence index once and offers two operations:
 
     * :meth:`largest_size` — only the size of the largest component (the
       balancedness filter), without allocating component objects;
     * :meth:`split` — the full list of components (Definition 3.2).
+
+    Both are memoised (LRU, keyed by the effective separator) unless
+    ``memoize=False``; ``stats`` may be a
+    :class:`~repro.core.base.SearchStatistics` recording memo hits/misses.
     """
 
-    __slots__ = ("host", "comp", "_edge_items", "_special_items", "_bits", "_num_edges")
+    __slots__ = (
+        "host",
+        "comp",
+        "stats",
+        "_edge_items",
+        "_special_items",
+        "_bits",
+        "_num_edges",
+        "_comp_vertices",
+        "_incidence",
+        "_memoize",
+        "_split_memo",
+        "_largest_memo",
+    )
 
-    def __init__(self, host: Hypergraph, comp: Comp) -> None:
+    def __init__(
+        self,
+        host: Hypergraph,
+        comp: Comp,
+        memoize: bool = True,
+        stats=None,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+    ) -> None:
         self.host = host
         self.comp = comp
+        self.stats = stats
         self._edge_items = sorted(comp.edges)
         self._special_items = list(comp.specials)
         self._bits = [host.edge_bits(i) for i in self._edge_items] + self._special_items
         self._num_edges = len(self._edge_items)
-
-    # ------------------------------------------------------------------ #
-    def _union_find(self, separator: int) -> tuple[list[int], list[int]]:
-        """Return (parent, residues) of the union-find over the items."""
-        bits = self._bits
-        total = len(bits)
-        parent = list(range(total))
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        residues = [b & ~separator for b in bits]
-        first_owner: dict[int, int] = {}
-        for item, residue in enumerate(residues):
-            rest = residue
+        comp_vertices = 0
+        for bits in self._bits:
+            comp_vertices |= bits
+        self._comp_vertices = comp_vertices
+        # Vertex id -> item ids containing it, built once; every split walks
+        # this index instead of re-deriving residues for all items.
+        incidence: dict[int, list[int]] = {}
+        for item, bits in enumerate(self._bits):
+            rest = bits
             while rest:
                 low = rest & -rest
                 rest ^= low
-                vertex = low.bit_length() - 1
-                owner = first_owner.get(vertex)
-                if owner is None:
-                    first_owner[vertex] = item
-                else:
-                    ra, rb = find(owner), find(item)
-                    if ra != rb:
-                        parent[rb] = ra
-        return parent, residues
+                incidence.setdefault(low.bit_length() - 1, []).append(item)
+        self._incidence = incidence
+        self._memoize = memoize
+        self._split_memo: BoundedLRU = BoundedLRU(memo_size)
+        self._largest_memo: BoundedLRU = BoundedLRU(memo_size)
 
-    def largest_size(self, separator: int) -> int:
-        """Size of the largest [separator]-component (0 if everything is covered)."""
-        parent, residues = self._union_find(separator)
+    @property
+    def comp_vertices(self) -> int:
+        """V(comp) as a bitmask (union of all items)."""
+        return self._comp_vertices
 
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
+    # ------------------------------------------------------------------ #
+    # flood fill over the incidence index
+    # ------------------------------------------------------------------ #
+    def _flood(self, effective: int, stop_when_decided: bool = False) -> list[list[int]]:
+        """Item-id groups of the [effective]-components, in discovery order.
 
-        counts: dict[int, int] = {}
+        With ``stop_when_decided`` the fill returns early once the unvisited
+        remainder cannot contain a component larger than the largest found so
+        far — only :meth:`largest_size` may use that mode, the returned
+        grouping is incomplete.
+        """
+        bits = self._bits
+        incidence = self._incidence
+        total = len(bits)
+        visited = bytearray(total)
+        groups: list[list[int]] = []
+        remaining = total
         largest = 0
-        for item, residue in enumerate(residues):
-            if residue == 0:
+        for start in range(total):
+            if visited[start]:
                 continue
-            root = find(item)
-            size = counts.get(root, 0) + 1
-            counts[root] = size
-            if size > largest:
-                largest = size
-        return largest
-
-    def split(self, separator: int) -> list[Comp]:
-        """The [separator]-components of the wrapped component."""
-        parent, residues = self._union_find(separator)
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        groups: dict[int, tuple[list[int], list[int]]] = {}
-        for item, residue in enumerate(residues):
-            if residue == 0:
+            visited[start] = 1
+            remaining -= 1
+            frontier = bits[start] & ~effective
+            if frontier == 0:
                 continue  # fully covered by the separator: in no component
-            root = find(item)
-            edges, specials = groups.setdefault(root, ([], []))
-            if item < self._num_edges:
-                edges.append(self._edge_items[item])
-            else:
-                specials.append(self._special_items[item - self._num_edges])
+            members = [start]
+            seen = frontier
+            while frontier:
+                low = frontier & -frontier
+                frontier ^= low
+                for item in incidence[low.bit_length() - 1]:
+                    if visited[item]:
+                        continue
+                    visited[item] = 1
+                    remaining -= 1
+                    members.append(item)
+                    new = bits[item] & ~effective & ~seen
+                    seen |= new
+                    frontier |= new
+            groups.append(members)
+            if stop_when_decided:
+                if len(members) > largest:
+                    largest = len(members)
+                if remaining <= largest:
+                    break  # nothing left can beat the current largest
+        return groups
 
-        result = [
-            Comp(frozenset(edges), tuple(specials))
-            for edges, specials in groups.values()
-        ]
+    def _groups_to_comps(self, groups: list[list[int]]) -> list[Comp]:
+        num_edges = self._num_edges
+        edge_items = self._edge_items
+        special_items = self._special_items
+        result = []
+        for members in groups:
+            edges = []
+            specials = []
+            for item in members:
+                if item < num_edges:
+                    edges.append(edge_items[item])
+                else:
+                    specials.append(special_items[item - num_edges])
+            result.append(Comp(frozenset(edges), tuple(specials)))
         # A deterministic order keeps the search (and therefore the produced
         # decompositions) reproducible across runs.
         result.sort(
             key=lambda c: (min(c.edges) if c.edges else self.host.num_edges, c.specials)
         )
         return result
+
+    # ------------------------------------------------------------------ #
+    # public operations
+    # ------------------------------------------------------------------ #
+    def largest_size(self, separator: int) -> int:
+        """Size of the largest [separator]-component (0 if everything is covered)."""
+        effective = separator & self._comp_vertices
+        if self._memoize:
+            stats = self.stats
+            cached = self._largest_memo.get(effective)
+            if cached is not None:
+                if stats is not None:
+                    stats.splitter_memo_hits += 1
+                return cached
+            split_cached = self._split_memo.get(effective)
+            if split_cached is not None:
+                # Served from the full split: a memo hit, not a miss.
+                if stats is not None:
+                    stats.splitter_memo_hits += 1
+                largest = max((c.size for c in split_cached), default=0)
+                self._largest_memo.put(effective, largest)
+                return largest
+            if stats is not None:
+                stats.splitter_memo_misses += 1
+        groups = self._flood(effective, stop_when_decided=True)
+        largest = max((len(members) for members in groups), default=0)
+        if self._memoize:
+            self._largest_memo.put(effective, largest)
+        return largest
+
+    def split(self, separator: int) -> list[Comp]:
+        """The [separator]-components of the wrapped component."""
+        effective = separator & self._comp_vertices
+        if self._memoize:
+            cached = self._split_memo.get(effective)
+            if cached is not None:
+                if self.stats is not None:
+                    self.stats.splitter_memo_hits += 1
+                return list(cached)
+            if self.stats is not None:
+                self.stats.splitter_memo_misses += 1
+        result = self._groups_to_comps(self._flood(effective))
+        if self._memoize:
+            self._split_memo.put(effective, result)
+        return list(result)
 
 
 def components(host: Hypergraph, comp: Comp, separator: int) -> list[Comp]:
@@ -141,7 +232,7 @@ def components(host: Hypergraph, comp: Comp, separator: int) -> list[Comp]:
     :class:`Comp` values whose edge sets and special-edge tuples partition the
     items of ``comp`` that are *not* fully covered by U.
     """
-    return ComponentSplitter(host, comp).split(separator)
+    return ComponentSplitter(host, comp, memoize=False).split(separator)
 
 
 def covered_items(host: Hypergraph, comp: Comp, separator: int) -> Comp:

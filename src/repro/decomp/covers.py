@@ -12,10 +12,69 @@ paper:
   considered,
 * *conn covering* — for det-k-decomp, the label must cover the Conn interface.
 
+Enumeration-order contract
+--------------------------
 The enumeration yields labels in a deterministic order: smaller labels first,
 and within a size lexicographically by edge index.  Determinism matters both
 for reproducible experiments and for the search-space partitioning used by the
-parallel backend (:mod:`repro.core.parallel`).
+parallel backend (:mod:`repro.core.parallel`): a worker owns exactly the labels
+whose *smallest* edge index falls into its partition, so the workers' streams
+must be subsequences of one globally agreed order for "all workers failed" to
+be a sound "no" answer.
+
+The enumerator is a recursive branch-and-bound search rather than a filter
+over :func:`itertools.combinations`:
+
+* the running ∪λ bitmask is carried incrementally down the search tree, so no
+  per-label union or ``set(label)`` is ever recomputed;
+* the *progress* rule is enforced structurally — a branch is abandoned as soon
+  as no ``require_from`` edge remains in the candidate suffix;
+* a ``cover`` requirement prunes whole branches through precomputed
+  suffix-union masks: if even the union of every remaining pool edge cannot
+  close the uncovered gap, no descendant label can, and because suffixes only
+  shrink to the right the entire remaining sibling range is cut;
+* both prunes remove only branches that contain no emitted label, so the
+  output sequence is byte-identical to the reference implementation
+  (:meth:`CoverEnumerator.labels_reference`, the pre-branch-and-bound code,
+  kept for the ablation benchmarks and the differential tests).
+
+Width-safe subedge domination
+-----------------------------
+When a caller passes ``component_vertices`` (the vertex set V of the current
+component as a bitmask), the candidate pool is pre-filtered: an allowed edge
+``e`` is *dominated* and skipped when some other allowed edge ``f`` satisfies
+``e ∩ V ⊆ f ∩ V`` (with a smallest-index tie-break when the restrictions are
+equal, and never preferring an "old" edge over a ``require_from`` edge).
+
+Correctness argument.  Dropping pool edges only removes labels, so every
+answer found under domination is one the full search could produce —
+*soundness* is automatic.  Completeness splits into two cases:
+
+* *Equal restrictions* (``e ∩ V = f ∩ V``) — outcome-preserving, exactly.
+  Map any dropped label L ∋ e to L' = (L \\ {e}) ∪ {f}: same size, identical
+  restriction ∪L' ∩ V = ∪L ∩ V.  Every quantity the searches derive from a
+  label — the bag χ = ∪λ ∩ V', the component split, the Conn-covering,
+  balancedness and connectedness checks, the recursive subproblems — depends
+  on λ only through that restriction, so L' passes iff L does, and the bags
+  of the produced fragments are unchanged (bags live inside V, so condition 3
+  and the special condition are unaffected by the swap of edge identities).
+* *Strict containment* (``e ∩ V ⊊ f ∩ V``) — width-safe by the replacement
+  map (|L'| <= |L| <= k and ∪L' ∩ V ⊇ ∪L ∩ V): the replacement covers at
+  least as much of Conn and splits the component at least as finely, so every
+  *monotone* acceptance condition keeps holding.  The oversized-component
+  test of log-k-decomp's parent loop is the one non-monotone site (a finer
+  split may lose the >half component), which is why
+  :meth:`labels` offers ``strict_domination=False`` — the parent-label
+  enumeration restricts itself to the provably exact equal-restriction
+  collapse, while the child-label and det-k enumerations, whose acceptance
+  conditions are monotone in the restriction, apply full containment (the
+  same preprocessing BalancedGo-style solvers ship).  The engine-level
+  differential tests exercise this end-to-end (domination on vs. off must
+  agree on success across the random corpus); the ``subedge_domination``
+  flags on the decomposers switch it off for the ablation study.
+
+The progress rule is preserved in both cases because a ``require_from`` edge
+is never dominated by a non-``require_from`` edge.
 """
 
 from __future__ import annotations
@@ -57,6 +116,20 @@ class CoverEnumerator:
         The hypergraph whose edges form the candidate pool.
     k:
         The width parameter; labels have between 1 and ``k`` edges.
+
+    Attributes
+    ----------
+    pruning:
+        Ablation switch.  ``True`` (default) runs the branch-and-bound
+        enumerator; ``False`` routes every query through the reference
+        implementation (and disables subedge domination), reproducing the
+        pre-optimisation behaviour for the prune/no-prune benchmarks.  The
+        searches pass their own flag per call (the ``pruning`` parameter of
+        :meth:`labels`) rather than mutating this shared default.
+    stats:
+        Optional :class:`~repro.core.base.SearchStatistics`; when set (the
+        :class:`~repro.core.base.SearchContext` wires it up) the enumerator
+        records ``enum_branches_pruned`` and ``enum_domination_skips``.
     """
 
     def __init__(self, host: Hypergraph, k: int) -> None:
@@ -64,6 +137,8 @@ class CoverEnumerator:
             raise ValueError("width parameter k must be >= 1")
         self.host = host
         self.k = k
+        self.pruning = True
+        self.stats = None
 
     # ------------------------------------------------------------------ #
     # enumeration
@@ -75,6 +150,9 @@ class CoverEnumerator:
         overlap_with: int | None = None,
         cover: int | None = None,
         max_size: int | None = None,
+        component_vertices: int | None = None,
+        strict_domination: bool = True,
+        pruning: bool | None = None,
     ) -> Iterator[tuple[int, ...]]:
         """Yield candidate labels as sorted tuples of edge indices.
 
@@ -93,6 +171,65 @@ class CoverEnumerator:
             it (det-k-decomp's Conn-covering requirement).
         max_size:
             Optional override of the maximum label size (defaults to ``k``).
+        component_vertices:
+            If given (the component's vertex bitmask), enables width-safe
+            subedge domination over the pool (see the module docstring).
+            Ignored when pruning is off.
+        strict_domination:
+            ``True`` applies full-containment domination; ``False`` only the
+            outcome-preserving equal-restriction collapse (the parent-label
+            loop of log-k-decomp requires the weaker mode, see the module
+            docstring).  Irrelevant without ``component_vertices``.
+        pruning:
+            Per-call override of :attr:`pruning` (``None`` = use the
+            attribute); the searches pass their ``label_pruning`` flag here
+            so that two searches sharing one enumerator never fight over
+            ambient state.
+        """
+        if not (self.pruning if pruning is None else pruning):
+            return self.labels_reference(
+                allowed=allowed,
+                require_from=require_from,
+                overlap_with=overlap_with,
+                cover=cover,
+                max_size=max_size,
+            )
+        return self._branch_and_bound(
+            allowed, require_from, overlap_with, cover, max_size,
+            component_vertices, strict_domination, None,
+        )
+
+    def labels_with_union(
+        self,
+        allowed: Iterable[int] | None = None,
+        require_from: frozenset[int] | None = None,
+        overlap_with: int | None = None,
+        cover: int | None = None,
+        component_vertices: int | None = None,
+    ) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Like :meth:`labels` but also yields ∪λ as a bitmask."""
+        for label in self.labels(
+            allowed=allowed,
+            require_from=require_from,
+            overlap_with=overlap_with,
+            cover=cover,
+            component_vertices=component_vertices,
+        ):
+            yield label, label_union(self.host, label)
+
+    def labels_reference(
+        self,
+        allowed: Iterable[int] | None = None,
+        require_from: frozenset[int] | None = None,
+        overlap_with: int | None = None,
+        cover: int | None = None,
+        max_size: int | None = None,
+    ) -> Iterator[tuple[int, ...]]:
+        """The pre-branch-and-bound enumerator, kept verbatim.
+
+        Serves as the ground truth for the differential tests (the optimised
+        :meth:`labels` must yield the byte-identical sequence) and as the
+        "no pruning" arm of the ablation benchmarks.
         """
         host = self.host
         limit = self.k if max_size is None else min(max_size, self.k)
@@ -123,21 +260,210 @@ class CoverEnumerator:
                         continue
                 yield label
 
-    def labels_with_union(
+    # ------------------------------------------------------------------ #
+    # branch-and-bound core
+    # ------------------------------------------------------------------ #
+    def _dominated_pool(
         self,
-        allowed: Iterable[int] | None = None,
-        require_from: frozenset[int] | None = None,
-        overlap_with: int | None = None,
-        cover: int | None = None,
-    ) -> Iterator[tuple[tuple[int, ...], int]]:
-        """Like :meth:`labels` but also yields ∪λ as a bitmask."""
-        for label in self.labels(
-            allowed=allowed,
-            require_from=require_from,
-            overlap_with=overlap_with,
-            cover=cover,
-        ):
-            yield label, label_union(self.host, label)
+        pool: list[int],
+        require: frozenset[int] | None,
+        component_vertices: int,
+        strict: bool,
+    ) -> list[int]:
+        """Drop pool edges dominated within the component (module docstring).
+
+        Edge ``e`` is dominated by ``f`` iff ``e ∩ V ⊆ f ∩ V`` (with
+        ``strict=False`` only ``e ∩ V = f ∩ V``), ``f`` is at least as
+        eligible for the progress rule as ``e``, and — when the restrictions
+        are exactly equal and both edges have the same progress status —
+        ``f`` has the smaller index, so exactly one representative of every
+        equivalence class survives, deterministically.
+        """
+        host = self.host
+        restricted = [host.edge_bits(e) & component_vertices for e in pool]
+        if require is not None:
+            progress = [e in require for e in pool]
+        else:
+            progress = None
+        survivors: list[int] = []
+        skipped = 0
+        n = len(pool)
+
+        if not strict:
+            # Equal-restriction collapse is plain dedup: one survivor per
+            # restricted mask — the smallest-index progress member if the
+            # class has one (an old edge must never outlive a progress
+            # witness), else the smallest index.  O(n) instead of the
+            # pairwise pass below; this runs per parent-label enumeration,
+            # i.e. once per child label on the hottest loop.
+            chosen: dict[int, int] = {}
+            for i in range(n):
+                mask = restricted[i]
+                head = chosen.get(mask)
+                if head is None or (
+                    progress is not None and progress[i] and not progress[head]
+                ):
+                    chosen[mask] = i
+            keep = set(chosen.values())
+            for i in range(n):
+                if i in keep:
+                    survivors.append(pool[i])
+                else:
+                    skipped += 1
+            if skipped and self.stats is not None:
+                self.stats.enum_domination_skips += skipped
+            return survivors
+
+        # strict=True from here on: full-containment domination, pairwise.
+        for i in range(n):
+            ri = restricted[i]
+            dominated = False
+            for j in range(n):
+                if j == i:
+                    continue
+                rj = restricted[j]
+                if ri & ~rj:
+                    continue  # not a subset: no domination
+                if progress is not None and progress[i] and not progress[j]:
+                    continue  # never lose a progress witness to an old edge
+                if ri == rj:
+                    same_status = progress is None or progress[i] == progress[j]
+                    if same_status and j > i:
+                        continue  # tie-break: the smaller index survives
+                dominated = True
+                break
+            if dominated:
+                skipped += 1
+            else:
+                survivors.append(pool[i])
+        if skipped and self.stats is not None:
+            self.stats.enum_domination_skips += skipped
+        return survivors
+
+    def _branch_and_bound(
+        self,
+        allowed: Iterable[int] | None,
+        require_from: frozenset[int] | None,
+        overlap_with: int | None,
+        cover: int | None,
+        max_size: int | None,
+        component_vertices: int | None,
+        strict_domination: bool,
+        first_edges: frozenset[int] | set[int] | None,
+    ) -> Iterator[tuple[int, ...]]:
+        host = self.host
+        limit = self.k if max_size is None else min(max_size, self.k)
+        pool = sorted(allowed) if allowed is not None else list(range(host.num_edges))
+        if overlap_with is not None:
+            pool = [i for i in pool if host.edge_bits(i) & overlap_with]
+        if not pool:
+            return
+        require = require_from if require_from else None
+        if component_vertices is not None:
+            pool = self._dominated_pool(
+                pool, require, component_vertices, strict_domination
+            )
+        bits = [host.edge_bits(i) for i in pool]
+        n = len(pool)
+        stats = self.stats
+
+        if require is not None:
+            is_req = [e in require for e in pool]
+            last_req = -1
+            for pos in range(n - 1, -1, -1):
+                if is_req[pos]:
+                    last_req = pos
+                    break
+            if last_req < 0:
+                return
+        else:
+            is_req = None
+            last_req = n  # sentinel: never triggers the progress prune
+
+        suffix: list[int] | None = None
+        if cover is not None:
+            suffix = [0] * (n + 1)
+            acc = 0
+            for pos in range(n - 1, -1, -1):
+                acc |= bits[pos]
+                suffix[pos] = acc
+            if cover & ~suffix[0]:
+                return
+
+        first_ok: list[bool] | None = None
+        if first_edges is not None:
+            first_ok = [e in first_edges for e in pool]
+
+        for size in range(1, limit + 1):
+            if size > n:
+                break
+            if size == 1:
+                # Flat fast path: no recursion state to maintain.
+                for pos in range(n):
+                    if first_ok is not None and not first_ok[pos]:
+                        continue
+                    if is_req is not None and not is_req[pos]:
+                        continue
+                    if cover is not None and cover & ~bits[pos]:
+                        continue
+                    yield (pool[pos],)
+                continue
+
+            # Iterative DFS over positions: depth d chooses the (d+1)-th edge.
+            # idx[d] is the position chosen at depth d; unions/got are prefix
+            # state (union of and progress-status over the first d choices).
+            idx = [0] * size
+            chosen = [0] * size
+            unions = [0] * size
+            got = [is_req is None] * size
+            d = 0
+            pos = 0
+            max_start = n - size
+            leaf = size - 1
+            while True:
+                descend = False
+                limit_pos = max_start + d
+                prefix_union = unions[d]
+                prefix_got = got[d]
+                while pos <= limit_pos:
+                    if not prefix_got and pos > last_req:
+                        # No progress edge remains in the suffix: every label
+                        # in this whole sibling range is filtered.
+                        if stats is not None:
+                            stats.enum_branches_pruned += 1
+                        break
+                    if cover is not None and cover & ~(prefix_union | suffix[pos]):
+                        # Even taking every remaining pool edge cannot close
+                        # the cover gap; suffix unions only shrink for larger
+                        # pos, so cut the entire remaining range.
+                        if stats is not None:
+                            stats.enum_branches_pruned += 1
+                        break
+                    if d == 0 and first_ok is not None and not first_ok[pos]:
+                        pos += 1
+                        continue
+                    if d == leaf:
+                        if (prefix_got or is_req[pos]) and (
+                            cover is None or not (cover & ~(prefix_union | bits[pos]))
+                        ):
+                            chosen[d] = pool[pos]
+                            yield tuple(chosen)
+                        pos += 1
+                        continue
+                    chosen[d] = pool[pos]
+                    idx[d] = pos
+                    d += 1
+                    unions[d] = prefix_union | bits[pos]
+                    got[d] = prefix_got or is_req[pos]
+                    pos += 1
+                    descend = True
+                    break
+                if descend:
+                    continue
+                if d == 0:
+                    break
+                d -= 1
+                pos = idx[d] + 1
 
     # ------------------------------------------------------------------ #
     # partitioning (used by the parallel backend)
@@ -162,9 +488,25 @@ class CoverEnumerator:
         allowed: Iterable[int] | None,
         first_edges: Sequence[int],
         require_from: frozenset[int] | None = None,
+        component_vertices: int | None = None,
+        pruning: bool | None = None,
     ) -> Iterator[tuple[int, ...]]:
-        """Yield only the labels whose minimum edge index lies in ``first_edges``."""
+        """Yield only the labels whose minimum edge index lies in ``first_edges``.
+
+        Partition-restricted labels are generated directly by constraining
+        the *first* chosen edge (labels are emitted as sorted tuples over a
+        sorted pool, so the first choice is the minimum); the rest of the
+        label space is never materialised.  Subedge domination, when enabled,
+        is applied to the full pool *before* the partition restriction, so
+        every worker prunes the same edges and the per-worker streams still
+        partition the (dominated) label space.
+        """
         firsts = set(first_edges)
-        for label in self.labels(allowed=allowed, require_from=require_from):
-            if min(label) in firsts:
-                yield label
+        if not (self.pruning if pruning is None else pruning):
+            for label in self.labels_reference(allowed=allowed, require_from=require_from):
+                if label[0] in firsts:
+                    yield label
+            return
+        yield from self._branch_and_bound(
+            allowed, require_from, None, None, None, component_vertices, True, firsts
+        )

@@ -22,6 +22,7 @@ from .extended import Comp, FragmentNode
 __all__ = [
     "cov",
     "cov_subtree",
+    "subtree_cov_sizes",
     "is_balanced_separator_node",
     "find_balanced_separator",
     "is_balanced_label",
@@ -68,32 +69,81 @@ def cov(
 
 
 def cov_subtree(
-    host: Hypergraph, comp: Comp, fragment: FragmentNode, node: FragmentNode
+    host: Hypergraph,
+    comp: Comp,
+    fragment: FragmentNode,
+    node: FragmentNode,
+    table: dict[int, set[object]] | None = None,
 ) -> set[object]:
-    """cov(T_node): the union of cov(u) over the subtree rooted at ``node``."""
-    table = cov(host, comp, fragment)
+    """cov(T_node): the union of cov(u) over the subtree rooted at ``node``.
+
+    ``table`` may be a precomputed :func:`cov` table of ``fragment``; passing
+    it avoids recomputing the table when several subtrees of the same
+    fragment are queried.
+    """
+    if table is None:
+        table = cov(host, comp, fragment)
     total: set[object] = set()
     for descendant in node.nodes():
         total |= table[id(descendant)]
     return total
 
 
+def subtree_cov_sizes(
+    host: Hypergraph,
+    comp: Comp,
+    fragment: FragmentNode,
+    table: dict[int, set[object]] | None = None,
+) -> dict[int, int]:
+    """|cov(T_u)| for every node ``u`` of the fragment, keyed by ``id(u)``.
+
+    Requires ``fragment`` to satisfy the HD connectedness condition (true for
+    every fragment the searches construct): then an item covered in two
+    branches is also covered at their common ancestor, :func:`cov` assigns it
+    to exactly one node, and the cov() sets of distinct nodes are disjoint.
+    The size of a subtree's union is therefore the sum of its nodes' set
+    sizes — one post-order pass computes every subtree size, instead of
+    re-walking (and re-unioning) the subtree of each queried node.  For a
+    fragment violating connectedness the sums may overcount; use
+    :func:`cov_subtree` (set union) there instead.
+    """
+    if table is None:
+        table = cov(host, comp, fragment)
+    sizes: dict[int, int] = {}
+    # Iterative post-order: children are summed before their parent.
+    stack: list[tuple[FragmentNode, bool]] = [(fragment, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+        else:
+            sizes[id(node)] = len(table[id(node)]) + sum(
+                sizes[id(child)] for child in node.children
+            )
+    return sizes
+
+
 def is_balanced_separator_node(
-    host: Hypergraph, comp: Comp, fragment: FragmentNode, node: FragmentNode
+    host: Hypergraph,
+    comp: Comp,
+    fragment: FragmentNode,
+    node: FragmentNode,
+    sizes: dict[int, int] | None = None,
 ) -> bool:
-    """Check Definition 3.9 for ``node`` within the HD ``fragment`` of ``comp``."""
+    """Check Definition 3.9 for ``node`` within the HD ``fragment`` of ``comp``.
+
+    ``sizes`` may be a precomputed :func:`subtree_cov_sizes` table; computed
+    on demand otherwise.
+    """
     half = comp.size / 2
-    table = cov(host, comp, fragment)
+    if sizes is None:
+        sizes = subtree_cov_sizes(host, comp, fragment)
     for child in node.children:
-        below: set[object] = set()
-        for descendant in child.nodes():
-            below |= table[id(descendant)]
-        if len(below) > half:
+        if sizes[id(child)] > half:
             return False
-    covered_below_or_at: set[object] = set()
-    for descendant in node.nodes():
-        covered_below_or_at |= table[id(descendant)]
-    above = comp.size - len(covered_below_or_at)
+    above = comp.size - sizes[id(node)]
     return above < half
 
 
@@ -106,21 +156,17 @@ def find_balanced_separator(
     (special) edges the current node is a balanced separator; otherwise there
     is exactly one oversized child and the walk continues there.  The walk is
     guaranteed to terminate at a balanced separator.
+
+    The subtree-cover sizes are computed once (one cov() table, one post-order
+    pass) and shared across the whole walk.
     """
     half = comp.size / 2
-    table = cov(host, comp, fragment)
-
-    def subtree_cov(node: FragmentNode) -> set[object]:
-        total: set[object] = set()
-        for descendant in node.nodes():
-            total |= table[id(descendant)]
-        return total
-
+    sizes = subtree_cov_sizes(host, comp, fragment)
     current = fragment
     while True:
         oversized = None
         for child in current.children:
-            if len(subtree_cov(child)) > half:
+            if sizes[id(child)] > half:
                 oversized = child
                 break
         if oversized is None:

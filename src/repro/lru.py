@@ -1,0 +1,58 @@
+"""A minimal bounded mapping with least-recently-used eviction.
+
+Shared by the three LRU sites of the library — the engine's result cache
+(:mod:`repro.pipeline.engine`), the component splitter's per-subproblem memos
+(:mod:`repro.decomp.components`) and the log-k search's splitter pool
+(:mod:`repro.core.logk`) — so the recency/eviction logic exists once.  The
+class is deliberately tiny: no statistics, no locking; callers layer their own
+counting and thread-safety on top where they need it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BoundedLRU"]
+
+
+class BoundedLRU:
+    """An insertion-bounded key→value map; reads refresh recency."""
+
+    __slots__ = ("max_entries", "_entries")
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """Return the stored value (refreshing its recency), or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> int:
+        """Insert or overwrite, evicting the least-recently-used overflow.
+
+        Returns the number of evicted entries (the engine's result cache
+        counts them in its statistics).
+        """
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        evicted = 0
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries

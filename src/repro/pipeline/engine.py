@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from ..core.base import Decomposer, DecompositionResult, SearchStatistics
@@ -50,6 +49,7 @@ from ..decomp.decomposition import (
 from ..decomp.validation import validate_ghd, validate_hd
 from ..hypergraph import Hypergraph
 from ..hypergraph.properties import connected_components
+from ..lru import BoundedLRU
 from .simplify import SimplificationTrace, lift_decomposition, simplify
 
 __all__ = [
@@ -102,7 +102,7 @@ class ResultCache:
     def __init__(self, max_entries: int = 1024) -> None:
         self.max_entries = max_entries
         self.statistics = CacheStatistics()
-        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._entries: BoundedLRU = BoundedLRU(max_entries)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -116,7 +116,6 @@ class ResultCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                self._entries.move_to_end(key)
                 self.statistics.hits += 1
                 return entry
             self.statistics.misses += 1
@@ -137,12 +136,8 @@ class ResultCache:
             stats=replace(stats, stage_seconds={}) if stats is not None else SearchStatistics(),
         )
         with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
             self.statistics.stores += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.statistics.evictions += 1
+            self.statistics.evictions += self._entries.put(key, entry)
 
 
 class DecompositionEngine:

@@ -1,0 +1,203 @@
+"""Differential tests for the branch-and-bound label enumerator.
+
+The optimised :meth:`CoverEnumerator.labels` must emit the *byte-identical*
+label sequence as the retained reference implementation
+(:meth:`CoverEnumerator.labels_reference`) for every combination of
+``(allowed, require_from, overlap_with, cover, k, max_size)`` — the pruning
+may only skip branches that contain no emitted label.  A randomized corpus of
+settings over random hypergraphs checks exactly that, plus the direct
+partition-restricted generation and the width-safety invariant of subedge
+domination.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import SearchStatistics
+from repro.decomp.covers import CoverEnumerator, label_union
+from repro.hypergraph import Hypergraph, generators
+
+
+def _random_host(rng: random.Random, trial: int) -> Hypergraph:
+    kind = trial % 3
+    if kind == 0:
+        return generators.random_csp(
+            rng.randint(4, 9), rng.randint(3, 9), arity=rng.choice([2, 3]), seed=trial
+        )
+    if kind == 1:
+        return generators.cycle(rng.randint(3, 10))
+    return generators.with_chords(
+        generators.cycle(rng.randint(5, 10)), rng.randint(1, 3), seed=trial
+    )
+
+
+def _random_settings(rng: random.Random, host: Hypergraph, k: int) -> dict:
+    m = host.num_edges
+    allowed = None if rng.random() < 0.4 else sorted(rng.sample(range(m), rng.randint(1, m)))
+    require = None if rng.random() < 0.5 else frozenset(rng.sample(range(m), rng.randint(0, m)))
+    overlap = None
+    if rng.random() < 0.5:
+        overlap = 0
+        for edge in rng.sample(range(m), rng.randint(1, max(1, m // 2))):
+            overlap |= host.edge_bits(edge)
+    cover = None
+    if rng.random() < 0.5:
+        cover = 0
+        for edge in rng.sample(range(m), rng.randint(1, 2)):
+            cover |= host.edge_bits(edge)
+    max_size = None if rng.random() < 0.7 else rng.randint(1, k)
+    return {
+        "allowed": allowed,
+        "require_from": require,
+        "overlap_with": overlap,
+        "cover": cover,
+        "max_size": max_size,
+    }
+
+
+def test_label_sequence_matches_reference_across_random_corpus():
+    rng = random.Random(20260726)
+    for trial in range(150):
+        host = _random_host(rng, trial)
+        k = rng.randint(1, 4)
+        enumerator = CoverEnumerator(host, k)
+        settings = _random_settings(rng, host, k)
+        new = list(enumerator.labels(**settings))
+        old = list(enumerator.labels_reference(**settings))
+        assert new == old, (trial, host, k, settings)
+
+
+def test_partition_generation_matches_reference_filter():
+    rng = random.Random(42)
+    for trial in range(60):
+        host = _random_host(rng, trial)
+        k = rng.randint(1, 3)
+        enumerator = CoverEnumerator(host, k)
+        m = host.num_edges
+        allowed = None if rng.random() < 0.5 else sorted(rng.sample(range(m), rng.randint(1, m)))
+        require = None if rng.random() < 0.5 else frozenset(rng.sample(range(m), rng.randint(1, m)))
+        parts = enumerator.partition_first_edges(allowed, rng.randint(1, 4))
+        reference = [
+            label
+            for label in enumerator.labels_reference(allowed=allowed, require_from=require)
+        ]
+        streams = [
+            list(enumerator.labels_for_partition(allowed, part, require_from=require))
+            for part in parts
+        ]
+        # Each stream must be a subsequence of the reference order and the
+        # streams together must partition the full label space.
+        for part, stream in zip(parts, streams):
+            firsts = set(part)
+            assert stream == [label for label in reference if label[0] in firsts]
+        merged = sorted(label for stream in streams for label in stream)
+        assert merged == sorted(reference)
+
+
+def test_domination_only_removes_replaceable_labels():
+    # Width-safety invariant: for every label the full enumeration emits but
+    # the dominated enumeration skips, there must be an emitted label of at
+    # most the same size whose component-restricted union is a superset and
+    # which still satisfies the progress rule.
+    rng = random.Random(7)
+    for trial in range(40):
+        host = _random_host(rng, trial)
+        k = rng.randint(1, 3)
+        enumerator = CoverEnumerator(host, k)
+        m = host.num_edges
+        comp_edges = frozenset(rng.sample(range(m), rng.randint(2, m)))
+        comp_vertices = 0
+        for edge in comp_edges:
+            comp_vertices |= host.edge_bits(edge)
+        require = comp_edges if rng.random() < 0.7 else None
+        full = list(enumerator.labels(require_from=require))
+        dominated = list(
+            enumerator.labels(require_from=require, component_vertices=comp_vertices)
+        )
+        kept = set(dominated)
+        assert kept <= set(full)
+        by_size: dict[int, list[tuple[tuple[int, ...], int]]] = {}
+        for label in dominated:
+            by_size.setdefault(len(label), []).append(
+                (label, label_union(host, label) & comp_vertices)
+            )
+        for label in full:
+            if label in kept:
+                continue
+            restricted = label_union(host, label) & comp_vertices
+            replacement = any(
+                restricted & ~candidate_union == 0
+                for size in range(1, len(label) + 1)
+                for _, candidate_union in by_size.get(size, [])
+            )
+            assert replacement, (trial, label)
+
+
+def test_domination_skips_are_counted():
+    # Two copies of the same edge: one must be dominated away.
+    host = Hypergraph({"a": ["x", "y"], "b": ["x", "y"], "c": ["y", "z"]})
+    enumerator = CoverEnumerator(host, 2)
+    stats = SearchStatistics()
+    enumerator.stats = stats
+    labels = list(enumerator.labels(component_vertices=host.all_vertices_mask))
+    assert stats.enum_domination_skips >= 1
+    flattened = {edge for label in labels for edge in label}
+    assert 0 in flattened and 1 not in flattened  # smallest index survives
+
+
+def test_domination_never_drops_the_progress_witness():
+    # Edge 1 dominates edge 0 within the component, but only edge 0 is a
+    # "new" edge: the progress rule forbids dropping it.
+    host = Hypergraph({"small": ["x", "y"], "big": ["x", "y", "z"]})
+    enumerator = CoverEnumerator(host, 1)
+    labels = list(
+        enumerator.labels(
+            require_from=frozenset({0}),
+            component_vertices=host.all_vertices_mask,
+        )
+    )
+    assert (0,) in labels
+
+
+def test_pruning_off_restores_reference_behaviour():
+    host = generators.cycle(6)
+    enumerator = CoverEnumerator(host, 2)
+    enumerator.pruning = False
+    # Domination is ignored without pruning (the reference path measures the
+    # pre-optimisation behaviour), and the sequence equals the reference.
+    assert list(enumerator.labels(component_vertices=host.all_vertices_mask)) == list(
+        enumerator.labels_reference()
+    )
+    parts = enumerator.partition_first_edges(None, 2)
+    merged = sorted(
+        label for part in parts for label in enumerator.labels_for_partition(None, part)
+    )
+    assert merged == sorted(enumerator.labels_reference())
+
+
+class _CountingHost:
+    """Hypergraph proxy counting ``edge_bits`` calls (hot-path regression guard)."""
+
+    def __init__(self, host: Hypergraph) -> None:
+        self._host = host
+        self.edge_bits_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._host, name)
+
+    def edge_bits(self, index: int) -> int:
+        self.edge_bits_calls += 1
+        return self._host.edge_bits(index)
+
+
+def test_no_constraint_path_does_no_per_label_recomputation():
+    # The no-constraint enumeration must touch edge bitmasks only while
+    # preparing the pool — O(pool) calls — never per emitted label; with
+    # ~500 labels over 12 edges any per-label recomputation would show.
+    host = generators.cycle(12)
+    counting = _CountingHost(host)
+    enumerator = CoverEnumerator(counting, 3)
+    labels = list(enumerator.labels())
+    assert len(labels) == 12 + 66 + 220
+    assert counting.edge_bits_calls <= host.num_edges

@@ -78,6 +78,26 @@ def test_optimal_solver_agrees_with_iterative_deepening(seed):
         assert not DetKDecomposer().decompose(hypergraph, outcome.width - 1).success
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_subedge_domination_preserves_answers(seed):
+    # The width-safe subedge domination of the label enumerator may only
+    # shrink the search space, never flip an answer (module docstring of
+    # repro.decomp.covers); check it end-to-end per algorithm.
+    hypergraph = generators.random_csp(8, 7, arity=3, seed=200 + seed)
+    for k in (1, 2, 3):
+        for factory in (
+            LogKDecomposer,
+            DetKDecomposer,
+            lambda **kw: HybridDecomposer(metric="EdgeCount", threshold=4, **kw),
+        ):
+            on = factory(subedge_domination=True, use_engine=False).decompose(hypergraph, k)
+            off = factory(subedge_domination=False, use_engine=False).decompose(hypergraph, k)
+            assert on.success == off.success, (seed, k, factory)
+            if on.success:
+                validate_hd(on.decomposition)
+                assert on.decomposition.width <= k
+
+
 def test_monotonicity_in_k():
     # If an HD of width k exists then HDs of every larger width exist as well.
     hypergraph = generators.triangle_cascade(3)

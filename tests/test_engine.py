@@ -119,16 +119,17 @@ def test_timeout_budget_is_shared_across_components(engine):
     import time as _time
 
     # Three disjoint hard components: the engine must grant the *call* one
-    # budget, not one budget per component.
+    # budget, not one budget per component.  (clique(9) at k=4 takes seconds
+    # to refute per component even with the branch-and-bound kernels.)
     edges: dict[str, list[str]] = {}
     for part in range(3):
-        clique = generators.clique(7)
+        clique = generators.clique(9)
         for name, vertices in clique.edges_as_dict().items():
             edges[f"c{part}_{name}"] = [f"p{part}_{v}" for v in vertices]
     h = Hypergraph(edges, name="three-cliques")
     decomposer = DetKDecomposer(engine=engine, timeout=0.4)
     start = _time.monotonic()
-    result = decomposer.decompose(h, 3)
+    result = decomposer.decompose(h, 4)
     elapsed = _time.monotonic() - start
     assert result.timed_out
     assert elapsed < 0.4 * 2  # one budget overall, not 3 x 0.4

@@ -12,7 +12,7 @@ from repro.bench.runner import (
     run_optimal_solver,
     run_parametrised,
 )
-from repro.bench.stats import group_records, runtime_stats, solved_count
+from repro.bench.stats import counter_totals, group_records, runtime_stats, solved_count
 from repro.core import DetKDecomposer, HybridDecomposer
 from repro.hypergraph import generators
 
@@ -37,6 +37,45 @@ def test_run_parametrised_resolves_optimum(small_instances):
     assert not record.timed_out
     assert record.method == "detk"
     assert record.group == "|E| <= 10"
+
+
+def test_run_parametrised_accumulates_search_counters(small_instances):
+    # The kernel counters are summed over every (instance, k) run of the
+    # record (use_engine=False: a result-cache hit would replay stored stats).
+    record = run_parametrised(
+        small_instances[0],
+        "detk",
+        lambda t: DetKDecomposer(timeout=t, use_engine=False),
+        5.0,
+        max_width=4,
+    )
+    counters = record.search_counters
+    assert counters["labels_tried"] > 0
+    assert counters["splitter_memo_misses"] > 0
+    assert set(counters) == {
+        "labels_tried",
+        "enum_branches_pruned",
+        "enum_domination_skips",
+        "splitter_memo_hits",
+        "splitter_memo_misses",
+    }
+
+
+def test_counter_totals_sums_over_records(small_instances):
+    records = [
+        run_parametrised(
+            instance,
+            "detk",
+            lambda t: DetKDecomposer(timeout=t, use_engine=False),
+            5.0,
+            max_width=4,
+        )
+        for instance in small_instances
+    ]
+    totals = counter_totals(records)
+    for key in records[0].search_counters:
+        assert totals[key] == sum(r.search_counters[key] for r in records)
+    assert totals["labels_tried"] > 0
 
 
 def test_run_parametrised_timeout():

@@ -7,10 +7,12 @@ from repro.decomp.components import components
 from repro.decomp.extended import Comp, FragmentNode, full_comp
 from repro.decomp.separators import (
     cov,
+    cov_subtree,
     find_balanced_separator,
     is_balanced_label,
     is_balanced_separator_node,
     largest_component_size,
+    subtree_cov_sizes,
 )
 from repro.hypergraph import generators
 
@@ -127,6 +129,31 @@ def test_logk_decomposition_contains_balanced_separator_nodes():
     comp = full_comp(h)
     separator = find_balanced_separator(h, comp, fragment)
     assert is_balanced_separator_node(h, comp, fragment, separator)
+
+
+def test_subtree_cov_sizes_match_set_computation():
+    # The single post-order pass must agree with the set-union definition of
+    # cov(T_u) at every node of the fragment.
+    for h in [generators.cycle(9), generators.grid(2, 4), generators.triangle_cascade(4)]:
+        fragment = _fragment_for(h)
+        comp = full_comp(h)
+        table = cov(h, comp, fragment)
+        sizes = subtree_cov_sizes(h, comp, fragment, table=table)
+        for node in fragment.nodes():
+            assert sizes[id(node)] == len(cov_subtree(h, comp, fragment, node, table=table))
+        # The root subtree covers every item of the component exactly once.
+        assert sizes[id(fragment)] == comp.size
+
+
+def test_is_balanced_separator_accepts_shared_sizes_table():
+    h = generators.cycle(10)
+    fragment = _fragment_for(h)
+    comp = full_comp(h)
+    sizes = subtree_cov_sizes(h, comp, fragment)
+    for node in fragment.nodes():
+        assert is_balanced_separator_node(h, comp, fragment, node, sizes=sizes) == (
+            is_balanced_separator_node(h, comp, fragment, node)
+        )
 
 
 def test_balance_check_matches_components():
