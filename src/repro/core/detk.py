@@ -44,13 +44,32 @@ class DetKSearch:
         self.use_cache = use_cache
         self.label_pruning = label_pruning
         self.subedge_domination = subedge_domination and label_pruning
-        self._cache: dict[tuple[frozenset[int], tuple[int, ...], int], FragmentNode | None] = {}
+        self._cache: dict[
+            tuple[frozenset[int], tuple[int, ...], int, frozenset[int] | None],
+            FragmentNode | None,
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # public entry points
     # ------------------------------------------------------------------ #
-    def search(self, comp: Comp, conn: int, depth: int = 1) -> FragmentNode | None:
-        """Return an HD fragment of width <= k for ⟨comp, conn⟩, or ``None``."""
+    def search(
+        self,
+        comp: Comp,
+        conn: int,
+        depth: int = 1,
+        allowed: frozenset[int] | None = None,
+    ) -> FragmentNode | None:
+        """Return an HD fragment of width <= k for ⟨comp, conn⟩, or ``None``.
+
+        ``allowed`` restricts the λ-label pool to the given edge indices
+        (``None`` = all host edges).  When the search runs as the leaf engine
+        of the hybrid decomposer it *must* receive log-k-decomp's allowed set
+        of the current subproblem: the fragment produced here can end up above
+        a stitched separator node, and a λ-label using an edge of the
+        component below the separator would put vertices of that component
+        into ∪λ(u) without them being in χ(u) — breaking HD condition 4 on
+        the stitched tree even though the fragment is locally consistent.
+        """
         context = self.context
         context.stats.record_call(depth)
         context.check_timeout()
@@ -59,14 +78,14 @@ class DetKSearch:
         if fragment is not _NO_BASE_CASE:
             return fragment
 
-        key = (comp.edges, comp.specials, conn)
+        key = (comp.edges, comp.specials, conn, allowed)
         if self.use_cache and key in self._cache:
             context.stats.cache_hits += 1
             cached = self._cache[key]
             return cached.copy() if cached is not None else None
         context.stats.cache_misses += 1
 
-        result = self._expand(comp, conn, depth)
+        result = self._expand(comp, conn, depth, allowed)
         if self.use_cache:
             self._cache[key] = result.copy() if result is not None else None
         return result
@@ -92,12 +111,15 @@ class DetKSearch:
             return None
         return _NO_BASE_CASE  # type: ignore[return-value]
 
-    def _expand(self, comp: Comp, conn: int, depth: int) -> FragmentNode | None:
+    def _expand(
+        self, comp: Comp, conn: int, depth: int, allowed: frozenset[int] | None
+    ) -> FragmentNode | None:
         context = self.context
         host = context.host
         comp_vertices = comp.vertices(host)
         splitter = ComponentSplitter(host, comp, stats=context.stats)
         for lam in context.enumerator.labels(
+            allowed=allowed,
             require_from=comp.edges,
             cover=conn,
             component_vertices=comp_vertices if self.subedge_domination else None,
@@ -116,7 +138,7 @@ class DetKSearch:
             failed = False
             for sub in sub_components:
                 sub_conn = sub.vertices(host) & chi
-                child = self.search(sub, sub_conn, depth + 1)
+                child = self.search(sub, sub_conn, depth + 1, allowed)
                 if child is None:
                     failed = True
                     break

@@ -136,8 +136,10 @@ class HybridDecomposer(Decomposer):
             subedge_domination=self.subedge_domination,
         )
 
-        def delegate(comp: Comp, conn: int, depth: int) -> FragmentNode | None:
-            return detk.search(comp, conn, depth)
+        def delegate(
+            comp: Comp, conn: int, depth: int, allowed: frozenset[int]
+        ) -> FragmentNode | None:
+            return detk.search(comp, conn, depth, allowed=allowed)
 
         def should_delegate(comp: Comp) -> bool:
             return self.metric.value(context.host, comp, context.k) < self.threshold

@@ -14,13 +14,21 @@ The optimisations of Appendix C are implemented and individually switchable
 
 * ``negative_base_case`` — fail immediately when only special edges remain,
 * child-first search with explicit *root-of-fragment* handling,
-* ``restrict_allowed_edges`` — edges covered below a separator are excluded
-  from the λ-labels of the fragment above it,
 * ``parent_overlap_pruning`` — parent labels only use edges intersecting
   ∪λ(c),
 * ``require_balanced`` — the balancedness filter itself (disabling it keeps
   the algorithm correct but removes the logarithmic depth guarantee; it exists
   purely for the ablation study).
+
+Excluding the edges of the component below a separator from the λ-labels of
+the fragment above it (the ``allowed`` set threaded through the recursion) is
+**not** an optional optimisation: an "up" fragment whose λ-label uses an edge
+of the component below the stitch point puts vertices of that component into
+∪λ(u) without them being in χ(u), which violates HD condition 4 (the special
+condition) on the stitched tree.  The historical ``restrict_allowed_edges``
+flag is therefore accepted but ignored — the restriction is always applied
+(it also never loses completeness: fragments extracted from a valid HD never
+need the excluded edges, by the very same condition 4).
 
 A ``leaf_delegate`` hook allows the hybrid decomposer to hand sufficiently
 small subproblems to det-k-decomp (Appendix D.2).
@@ -40,7 +48,7 @@ from .fragments import fragment_to_decomposition, replace_special_leaf, special_
 
 __all__ = ["LogKSearch", "LogKDecomposer"]
 
-LeafDelegate = Callable[[Comp, int, int], FragmentNode | None]
+LeafDelegate = Callable[[Comp, int, int, frozenset[int]], FragmentNode | None]
 DelegatePredicate = Callable[[Comp], bool]
 
 
@@ -63,6 +71,8 @@ class LogKSearch:
     ) -> None:
         self.context = context
         self.negative_base_case = negative_base_case
+        # Retained for API/bench compatibility; the allowed-edge restriction
+        # is correctness-relevant and always applied (see the module docs).
         self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
         self.require_balanced = require_balanced
@@ -112,8 +122,7 @@ class LogKSearch:
 
         cache_key = None
         if self.use_cache:
-            allowed_key = allowed if self.restrict_allowed_edges else frozenset()
-            cache_key = (comp.edges, comp.specials, conn, allowed_key)
+            cache_key = (comp.edges, comp.specials, conn, allowed)
             if cache_key in self._cache:
                 context.stats.cache_hits += 1
                 cached = self._cache[cache_key]
@@ -143,18 +152,20 @@ class LogKSearch:
             # Without the negative base case the child loop below finds no
             # candidate label (it requires a "new" edge) and fails anyway.
 
+        allowed_pool = allowed
+
         # ----- hybrid delegation (Appendix D.2) ------------------------ #
+        # The delegate receives the allowed-edge pool: its fragment may end
+        # up above a stitched separator, where λ-labels using edges of the
+        # component below would break the special condition (condition 4) of
+        # the combined tree.
         if (
             self.leaf_delegate is not None
             and self.delegate_predicate is not None
             and self.delegate_predicate(comp)
         ):
             context.stats.subproblems_delegated += 1
-            return self.leaf_delegate(comp, conn, depth)
-
-        allowed_pool = allowed if self.restrict_allowed_edges else frozenset(
-            range(host.num_edges)
-        )
+            return self.leaf_delegate(comp, conn, depth, allowed_pool)
         comp_vertices = comp.vertices(host)
         half = comp.size / 2
         # Pooled splitter: the same comp recurs across search calls under

@@ -12,6 +12,15 @@ practice; the basic variant is kept because (a) it is the algorithm the
 correctness proofs refer to, (b) differential tests between the two variants
 (and det-k-decomp) are a strong guard against implementation bugs, and (c)
 the ablation study uses it as the "no optimisations" reference point.
+
+One restriction is shared with the optimised variant because it is
+correctness-relevant rather than an optimisation: the λ-labels of the
+fragment *above* a separator must not use edges of the component below it
+(the ``excluded`` set threaded through ``decomp``).  Such a label would put
+vertices of the component below into ∪λ(u) without them being in χ(u),
+violating HD condition 4 on the stitched tree; excluding the edges never
+loses completeness because fragments extracted from a valid HD satisfy
+condition 4 and therefore never need them.
 """
 
 from __future__ import annotations
@@ -64,7 +73,9 @@ class LogKBasicSearch:
     # ------------------------------------------------------------------ #
     # function Decomp (lines 11-40)
     # ------------------------------------------------------------------ #
-    def decomp(self, comp: Comp, conn: int, depth: int) -> FragmentNode | None:
+    def decomp(
+        self, comp: Comp, conn: int, depth: int, excluded: frozenset[int] = frozenset()
+    ) -> FragmentNode | None:
         context = self.context
         context.stats.record_call(depth)
         context.check_timeout()
@@ -79,9 +90,12 @@ class LogKBasicSearch:
 
         half = comp.size / 2
         splitter = ComponentSplitter(host, comp, stats=context.stats)
+        # Edges below enclosing stitch points must stay out of every λ-label
+        # of this fragment (condition 4 on the stitched tree, see module docs).
+        pool = frozenset(range(host.num_edges)) - excluded
 
         # ParentLoop (lines 16-39).
-        for lam_p in context.enumerator.labels():
+        for lam_p in context.enumerator.labels(allowed=pool):
             context.stats.labels_tried += 1
             context.check_timeout()
             lam_p_union = label_union(host, lam_p)
@@ -95,7 +109,7 @@ class LogKBasicSearch:
             splitter_down = ComponentSplitter(host, comp_down, stats=context.stats)
 
             # ChildLoop (lines 24-39).
-            for lam_c in context.enumerator.labels():
+            for lam_c in context.enumerator.labels(allowed=pool):
                 context.stats.labels_tried += 1
                 context.check_timeout()
                 lam_c_union = label_union(host, lam_c)
@@ -110,7 +124,7 @@ class LogKBasicSearch:
                 failed = False
                 for sub in sub_components:
                     sub_conn = sub.vertices(host) & chi_c
-                    child = self.decomp(sub, sub_conn, depth + 1)
+                    child = self.decomp(sub, sub_conn, depth + 1, excluded)
                     if child is None:
                         failed = True
                         break
@@ -119,7 +133,7 @@ class LogKBasicSearch:
                     continue
 
                 comp_up = comp.difference(comp_down).with_special(chi_c)
-                up = self.decomp(comp_up, conn, depth + 1)
+                up = self.decomp(comp_up, conn, depth + 1, excluded | comp_down.edges)
                 if up is None:
                     continue
 

@@ -88,8 +88,8 @@ def _worker_search(
         )
         metric = make_metric(metric_name)
 
-        def leaf_delegate(comp, conn, depth, _detk=detk):  # type: ignore[misc]
-            return _detk.search(comp, conn, depth)
+        def leaf_delegate(comp, conn, depth, allowed, _detk=detk):  # type: ignore[misc]
+            return _detk.search(comp, conn, depth, allowed=allowed)
 
         def delegate_predicate(comp, _metric=metric, _host=host, _k=k):  # type: ignore[misc]
             return _metric.value(_host, comp, _k) < threshold

@@ -40,6 +40,12 @@ class JoinTreeNode:
             yield node
             stack.extend(reversed(node.children))
 
+    def post_order(self) -> Iterator["JoinTreeNode"]:
+        """Post-order traversal (children before their parent)."""
+        for child in self.children:
+            yield from child.post_order()
+        yield self
+
 
 class JoinTree:
     """A join tree over a hypergraph, extracted from a decomposition."""
@@ -51,6 +57,29 @@ class JoinTree:
     def nodes(self) -> Iterator[JoinTreeNode]:
         """Iterate over all join tree nodes in pre-order."""
         return self.root.nodes()
+
+    def post_order(self) -> Iterator[JoinTreeNode]:
+        """Iterate over all join tree nodes in post-order."""
+        return self.root.post_order()
+
+    def numbered(self) -> tuple[list[JoinTreeNode], list[int | None], list[list[int]]]:
+        """Deterministic node numbering for plan compilation.
+
+        Returns ``(nodes, parent, children)`` where ``nodes`` lists the tree
+        nodes in pre-order (the root has id 0), ``parent[i]`` is the id of
+        node i's parent (``None`` for the root) and ``children[i]`` lists the
+        ids of node i's children in tree order.
+        """
+        nodes = list(self.nodes())
+        ids = {id(node): index for index, node in enumerate(nodes)}
+        parent: list[int | None] = [None] * len(nodes)
+        children: list[list[int]] = [[] for _ in nodes]
+        for index, node in enumerate(nodes):
+            for child in node.children:
+                child_id = ids[id(child)]
+                parent[child_id] = index
+                children[index].append(child_id)
+        return nodes, parent, children
 
     def __len__(self) -> int:
         return sum(1 for _ in self.nodes())

@@ -173,6 +173,25 @@ class DecompositionEngine:
             cache = None
         self.cache = cache
         self.validate = validate
+        self._auxiliary: dict[str, BoundedLRU] = {}
+        self._auxiliary_lock = threading.Lock()
+
+    def auxiliary_cache(self, name: str, max_entries: int = 256) -> BoundedLRU:
+        """A named side-cache sharing this engine's lifecycle.
+
+        Downstream layers that key derived artefacts off decomposition work —
+        the query planner caches compiled :class:`~repro.query.plan.QueryPlan`
+        programs here — get an LRU that lives and dies with the engine, so
+        :func:`set_default_engine` (used by tests to isolate cache state)
+        resets them together with the result cache.  The first caller fixes
+        ``max_entries``; later callers receive the same instance.
+        """
+        with self._auxiliary_lock:
+            cache = self._auxiliary.get(name)
+            if cache is None:
+                cache = BoundedLRU(max_entries)
+                self._auxiliary[name] = cache
+            return cache
 
     # ------------------------------------------------------------------ #
     # pipeline

@@ -39,6 +39,7 @@ __all__ = [
     "available",
     "describe",
     "resolve",
+    "configuration_key",
 ]
 
 
@@ -164,6 +165,34 @@ class DecomposerRegistry:
         merged = {**entry.defaults, **options}
         return entry.load()(**merged)
 
+    def configuration_key(self, name: str, **options) -> tuple:
+        """Stable identity of an algorithm configuration.
+
+        Resolves aliases to the canonical name and merges the entry's
+        registered defaults under the explicit ``options`` — i.e. exactly
+        what :meth:`build` would construct — so downstream caches keyed by
+        algorithm configuration (the query layer's compiled-plan cache) treat
+        ``"hybrid"`` and its ``"log-k-decomp-hybrid"`` alias, or an explicit
+        option equal to the registered default, as the same configuration.
+        Non-primitive option values contribute their type name.
+        """
+        canonical = self.resolve(name)
+        merged = {**self._entries[canonical].defaults, **options}
+        items = tuple(
+            sorted(
+                (
+                    key,
+                    value
+                    if isinstance(
+                        value, (str, int, float, bool, tuple, frozenset, type(None))
+                    )
+                    else type(value).__name__,
+                )
+                for key, value in merged.items()
+            )
+        )
+        return (canonical, items)
+
     def available(self) -> list[str]:
         """Canonical algorithm names in registration order."""
         return list(self._entries)
@@ -185,6 +214,7 @@ build = registry.build
 available = registry.available
 describe = registry.describe
 resolve = registry.resolve
+configuration_key = registry.configuration_key
 
 
 def _register_builtins() -> None:

@@ -1,10 +1,32 @@
-"""Database application substrate: relations, joins, Yannakakis, CQ/CSP evaluation."""
+"""Database application substrate: relations, joins, Yannakakis, CQ/CSP evaluation.
+
+Two evaluation arms are provided: the eager, tuple-at-a-time reference
+pipeline (:mod:`repro.query.yannakakis` over :class:`Relation`) and the
+plan-compiled columnar engine (:mod:`repro.query.plan` +
+:mod:`repro.query.columnar`), fronted by :class:`QueryEngine` /
+:class:`QueryWorkload` for serving whole workloads with cached plans.
+"""
 
 from .relation import Relation
 from .database import Database, random_database_for_query
 from .joins import atom_relation, join_all, naive_join_query
 from .yannakakis import AnnotatedNode, full_reduce, yannakakis
+from .plan import AnswerMode, QueryPlan, compile_plan
+from .columnar import (
+    ColumnStore,
+    ColumnarRelation,
+    ExecutionResult,
+    PlanExecutor,
+    execute_plan,
+)
 from .cq_eval import EvaluationReport, evaluate_query, materialise_bags
+from .workload import (
+    PlannedQuery,
+    QueryEngine,
+    QueryResult,
+    QueryWorkload,
+    WorkloadReport,
+)
 from .csp import (
     CSPSolution,
     DecompositionCSPSolver,
@@ -22,9 +44,22 @@ __all__ = [
     "AnnotatedNode",
     "full_reduce",
     "yannakakis",
+    "AnswerMode",
+    "QueryPlan",
+    "compile_plan",
+    "ColumnStore",
+    "ColumnarRelation",
+    "ExecutionResult",
+    "PlanExecutor",
+    "execute_plan",
     "EvaluationReport",
     "evaluate_query",
     "materialise_bags",
+    "PlannedQuery",
+    "QueryEngine",
+    "QueryResult",
+    "QueryWorkload",
+    "WorkloadReport",
     "CSPSolution",
     "DecompositionCSPSolver",
     "backtracking_solve",

@@ -6,13 +6,17 @@ motivates:
 1. abstract the CQ to its hypergraph,
 2. compute a hypertree decomposition of width ``k`` with one of the
    decomposers from :mod:`repro.core`,
-3. materialise one relation per decomposition node by joining the (at most
-   ``k``) relations in the node's λ-label, projecting onto the bag, and
-   filtering with every atom assigned to the node,
-4. run Yannakakis' algorithm over the resulting acyclic instance.
+3. compile the decomposition's join tree into an operator program
+   (:mod:`repro.query.plan`) and run it on the columnar executor
+   (:mod:`repro.query.columnar`) — or, with ``executor="eager"``, run the
+   original tuple-at-a-time pipeline (materialise one relation per node,
+   then Yannakakis), which is kept as the reference arm for differential
+   tests and the ablation benchmarks.
 
 The total cost is polynomial for every fixed ``k`` — the practical payoff of
-computing HDs in the first place.
+computing HDs in the first place.  For serving many queries use
+:class:`repro.query.workload.QueryEngine`, which adds plan caching and
+persistent column stores on top of the same machinery.
 """
 
 from __future__ import annotations
@@ -25,8 +29,10 @@ from ..decomp.decomposition import Decomposition
 from ..decomp.jointree import JoinTree, join_tree_from_decomposition
 from ..exceptions import QueryError
 from ..hypergraph.cq import Atom, ConjunctiveQuery
+from .columnar import ColumnStore, execute_plan
 from .database import Database
 from .joins import atom_relation, join_all
+from .plan import AnswerMode, QueryPlan, compile_plan
 from .relation import Relation
 from .yannakakis import AnnotatedNode, yannakakis
 
@@ -38,12 +44,16 @@ class EvaluationReport:
     """Result of an HD-guided evaluation, with the pieces used to produce it."""
 
     query: ConjunctiveQuery
-    answers: Relation
+    answers: Relation | None
     width: int
     decomposition: Decomposition
     join_tree: JoinTree
     decomposition_seconds: float
     evaluation_seconds: float
+    mode: AnswerMode = AnswerMode.ENUMERATE
+    executor: str = "columnar"
+    count: int | None = None
+    plan: QueryPlan | None = None
 
     @property
     def is_boolean(self) -> bool:
@@ -52,8 +62,10 @@ class EvaluationReport:
 
     @property
     def boolean_answer(self) -> bool:
-        """The Boolean answer (non-empty result)."""
-        return len(self.answers) > 0
+        """The Boolean answer (at least one answer exists)."""
+        if self.answers is not None:
+            return len(self.answers) > 0
+        return bool(self.count)
 
 
 def materialise_bags(
@@ -61,7 +73,7 @@ def materialise_bags(
     database: Database,
     edge_atoms: dict[str, Atom],
 ) -> AnnotatedNode:
-    """Materialise one relation per join-tree node.
+    """Materialise one relation per join-tree node (the eager reference arm).
 
     The node relation is the join of the λ-cover atoms projected onto the bag
     variables, semijoin-filtered by every atom *assigned* to the node (atoms
@@ -94,6 +106,9 @@ def evaluate_query(
     max_width: int = 10,
     timeout: float | None = None,
     simplify: bool = True,
+    executor: str = "columnar",
+    mode: AnswerMode | str = AnswerMode.ENUMERATE,
+    store: ColumnStore | None = None,
 ) -> EvaluationReport:
     """Evaluate ``query`` over ``database`` guided by a minimum-width HD.
 
@@ -102,9 +117,25 @@ def evaluate_query(
     with redundant (subsumed) atoms are decomposed on their simplified
     hypergraph and repeated query shapes hit the engine's result cache;
     ``simplify=False`` forces a raw search.
+
+    ``executor`` selects the evaluation arm: ``"columnar"`` (default)
+    compiles the join tree into a :class:`~repro.query.plan.QueryPlan` and
+    runs the columnar executor; ``"eager"`` runs the original
+    tuple-at-a-time pipeline (only ``mode="enumerate"`` is supported there).
+    ``mode`` is an :class:`~repro.query.plan.AnswerMode`: ``enumerate``
+    returns the answers, ``boolean`` only decides non-emptiness (with early
+    exit), ``count`` returns the number of distinct answers in
+    :attr:`EvaluationReport.count` without decoding them.  A persistent
+    ``store`` (see :class:`~repro.query.columnar.ColumnStore`) amortises
+    dictionary encoding across calls.
     """
+    mode = AnswerMode.coerce(mode)
+    if executor not in ("columnar", "eager"):
+        raise QueryError(f"unknown executor {executor!r}; known: columnar, eager")
+    if executor == "eager" and mode is not AnswerMode.ENUMERATE:
+        raise QueryError("the eager reference executor only supports mode='enumerate'")
+
     hypergraph = query.hypergraph()
-    edge_atoms = query.edge_atom_map()
 
     start = time.monotonic()
     width, decomposition = hypertree_width(
@@ -123,8 +154,23 @@ def evaluate_query(
     start = time.monotonic()
     join_tree = join_tree_from_decomposition(decomposition)
     join_tree.validate()
-    annotated = materialise_bags(join_tree, database, edge_atoms)
-    answers = yannakakis(annotated, list(query.free_variables))
+
+    plan: QueryPlan | None = None
+    count: int | None = None
+    if executor == "columnar":
+        plan = compile_plan(query, join_tree, mode)
+        result = execute_plan(plan, database, store)
+        answers = result.answers
+        count = result.count
+        if mode is AnswerMode.BOOLEAN:
+            # Represent the Boolean outcome as the canonical 0-ary relation.
+            answers = Relation("answer", (), {()} if result.boolean else set())
+            count = 1 if result.boolean else 0
+    else:
+        edge_atoms = query.edge_atom_map()
+        annotated = materialise_bags(join_tree, database, edge_atoms)
+        answers = yannakakis(annotated, list(query.free_variables))
+        count = len(answers)
     evaluation_seconds = time.monotonic() - start
 
     return EvaluationReport(
@@ -135,4 +181,8 @@ def evaluate_query(
         join_tree=join_tree,
         decomposition_seconds=decomposition_seconds,
         evaluation_seconds=evaluation_seconds,
+        mode=mode,
+        executor=executor,
+        count=count,
+        plan=plan,
     )

@@ -60,17 +60,24 @@ def csp_to_query(csp: CSPInstance) -> tuple[ConjunctiveQuery, Database]:
 
 
 class DecompositionCSPSolver:
-    """Solve table-constraint CSPs guided by a hypertree decomposition."""
+    """Solve table-constraint CSPs guided by a hypertree decomposition.
+
+    ``executor`` selects the evaluation arm of
+    :func:`~repro.query.cq_eval.evaluate_query` — the plan-compiled columnar
+    executor by default, or the eager reference pipeline.
+    """
 
     def __init__(
         self,
         algorithm: str = "hybrid",
         max_width: int = 10,
         timeout: float | None = None,
+        executor: str = "columnar",
     ) -> None:
         self.algorithm = algorithm
         self.max_width = max_width
         self.timeout = timeout
+        self.executor = executor
 
     def solve(self, csp: CSPInstance) -> CSPSolution:
         """Return satisfiability, one witness assignment and the solution count."""
@@ -81,6 +88,7 @@ class DecompositionCSPSolver:
             algorithm=self.algorithm,
             max_width=self.max_width,
             timeout=self.timeout,
+            executor=self.executor,
         )
         answers = report.answers
         assignment = None
@@ -94,6 +102,46 @@ class DecompositionCSPSolver:
             width=report.width,
             report=report,
         )
+
+    def is_satisfiable(self, csp: CSPInstance) -> bool:
+        """Decide satisfiability only — a ``boolean``-mode plan with early exit.
+
+        The eager reference arm has no boolean mode, so a solver configured
+        with ``executor="eager"`` answers through the full :meth:`solve`.
+        """
+        if self.executor != "columnar":
+            return self.solve(csp).satisfiable
+        query, database = csp_to_query(csp)
+        report = evaluate_query(
+            query,
+            database,
+            algorithm=self.algorithm,
+            max_width=self.max_width,
+            timeout=self.timeout,
+            executor="columnar",
+            mode="boolean",
+        )
+        return report.boolean_answer
+
+    def count_solutions(self, csp: CSPInstance) -> int:
+        """Count solutions without materialising/decoding them (``count`` mode).
+
+        With ``executor="eager"`` the count comes from the enumerated
+        answers of :meth:`solve` (the reference arm has no count mode).
+        """
+        if self.executor != "columnar":
+            return self.solve(csp).num_solutions_found
+        query, database = csp_to_query(csp)
+        report = evaluate_query(
+            query,
+            database,
+            algorithm=self.algorithm,
+            max_width=self.max_width,
+            timeout=self.timeout,
+            executor="columnar",
+            mode="count",
+        )
+        return int(report.count or 0)
 
 
 def backtracking_solve(csp: CSPInstance) -> dict[str, object] | None:

@@ -1,0 +1,311 @@
+"""Query plans: join trees compiled into explicit operator programs.
+
+The eager pipeline of :mod:`repro.query.cq_eval` interleaves *deciding* what
+to do (walking the join tree, intersecting schemas, choosing projections)
+with *doing* it (building tuple sets).  This module separates the two: a
+:class:`QueryPlan` is the complete, immutable operator program derived from a
+join tree —
+
+1. :class:`BagOp` steps materialise one relation per decomposition node by
+   joining the ≤ k atoms of the node's λ-cover, projecting onto the bag and
+   semijoin-filtering with the atoms assigned to the node,
+2. :class:`SemijoinOp` steps run Yannakakis' bottom-up and top-down semijoin
+   passes (the full reduction),
+3. :class:`JoinOp`/:class:`ProjectOp` steps assemble the answers bottom-up,
+   keeping only output variables plus the variables still needed higher up.
+
+Because every schema intersection, projection list and semijoin key is
+resolved at compile time, the program can be cached and re-run against any
+database, and an executor (:mod:`repro.query.columnar`) can precompute which
+hash indexes the semijoin/join keys need and share them across steps.
+
+Plans carry an :class:`AnswerMode`:
+
+* ``ENUMERATE`` — produce the full answer relation,
+* ``BOOLEAN`` — decide non-emptiness; the compiled program stops after the
+  bottom-up semijoin pass (a surviving root tuple proves the answer), and
+  executors may exit even earlier when a bag comes out empty,
+* ``COUNT`` — count distinct answers without decoding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..decomp.jointree import JoinTree
+from ..exceptions import QueryError
+from ..hypergraph.cq import ConjunctiveQuery
+
+__all__ = [
+    "AnswerMode",
+    "AtomBinding",
+    "BagOp",
+    "SemijoinOp",
+    "JoinOp",
+    "ProjectOp",
+    "QueryPlan",
+    "compile_plan",
+]
+
+
+class AnswerMode(str, Enum):
+    """What the executor should produce for a query."""
+
+    ENUMERATE = "enumerate"
+    BOOLEAN = "boolean"
+    COUNT = "count"
+
+    @classmethod
+    def coerce(cls, mode: "AnswerMode | str") -> "AnswerMode":
+        """Accept an :class:`AnswerMode` or its string value."""
+        if isinstance(mode, cls):
+            return mode
+        try:
+            return cls(mode)
+        except ValueError:
+            known = ", ".join(m.value for m in cls)
+            raise QueryError(f"unknown answer mode {mode!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class AtomBinding:
+    """One query atom resolved for execution.
+
+    ``variables`` lists the distinct variables in first-occurrence order;
+    ``arguments`` is the raw (possibly repeating) argument tuple used to
+    enforce equality of repeated variables when the base relation is loaded.
+    """
+
+    edge: str
+    relation: str
+    arguments: tuple[str, ...]
+    variables: tuple[str, ...]
+
+    @property
+    def has_repeats(self) -> bool:
+        """True iff some variable occurs more than once in the atom."""
+        return len(self.variables) != len(self.arguments)
+
+
+@dataclass(frozen=True)
+class BagOp:
+    """Materialise the relation of decomposition node ``node``.
+
+    Join the atoms in ``cover`` (indices into :attr:`QueryPlan.atoms`),
+    project onto ``variables`` (the bag χ), then semijoin with each atom in
+    ``assigned``.
+    """
+
+    node: int
+    cover: tuple[int, ...]
+    assigned: tuple[int, ...]
+    variables: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SemijoinOp:
+    """Keep the ``target`` node's tuples that join with ``source`` on ``on``."""
+
+    target: int
+    source: int
+    on: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinOp:
+    """Join child ``source``'s intermediate result (projected onto ``retain``)
+    into parent ``target``'s intermediate result."""
+
+    target: int
+    source: int
+    retain: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProjectOp:
+    """Project node ``node``'s intermediate result onto ``attributes``."""
+
+    node: int
+    attributes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled, database-independent operator program for one query.
+
+    The plan references atoms by index into :attr:`atoms` and decomposition
+    nodes by their pre-order id (the root is node 0), so it is entirely
+    self-contained: executing it needs only a database providing the named
+    base relations.
+    """
+
+    mode: AnswerMode
+    output: tuple[str, ...]
+    atoms: tuple[AtomBinding, ...]
+    num_nodes: int
+    bags: tuple[BagOp, ...]
+    bottom_up: tuple[SemijoinOp, ...]
+    top_down: tuple[SemijoinOp, ...]
+    join_schedule: tuple[JoinOp | ProjectOp, ...]
+    node_variables: tuple[tuple[str, ...], ...]
+    result_variables: tuple[tuple[str, ...], ...]
+    width: int
+    children: tuple[tuple[int, ...], ...] = field(default=(), repr=False)
+
+    @property
+    def semijoin_count(self) -> int:
+        """Total number of semijoin steps of the full-reduction passes."""
+        return len(self.bottom_up) + len(self.top_down)
+
+    @property
+    def is_boolean(self) -> bool:
+        """True iff the plan answers a Boolean query (no output variables)."""
+        return not self.output
+
+    def describe(self) -> str:
+        """Human-readable rendering of the operator program."""
+        lines = [f"plan mode={self.mode.value} output=({', '.join(self.output)})"]
+        for bag in self.bags:
+            cover = ", ".join(self.atoms[i].edge for i in bag.cover)
+            line = f"  bag[{bag.node}] = π_{{{', '.join(bag.variables)}}}({cover})"
+            if bag.assigned:
+                assigned = ", ".join(self.atoms[i].edge for i in bag.assigned)
+                line += f" ⋉ {assigned}"
+            lines.append(line)
+        for op in self.bottom_up:
+            lines.append(f"  bag[{op.target}] ⋉= bag[{op.source}] on ({', '.join(op.on)})")
+        for op in self.top_down:
+            lines.append(f"  bag[{op.target}] ⋉= bag[{op.source}] on ({', '.join(op.on)})")
+        for op in self.join_schedule:
+            if isinstance(op, JoinOp):
+                lines.append(
+                    f"  res[{op.target}] ⋈= π_{{{', '.join(op.retain)}}}(res[{op.source}])"
+                )
+            else:
+                lines.append(f"  res[{op.node}] = π_{{{', '.join(op.attributes)}}}(res[{op.node}])")
+        return "\n".join(lines)
+
+
+def _atom_bindings(query: ConjunctiveQuery) -> tuple[tuple[AtomBinding, ...], dict[str, int]]:
+    bindings: list[AtomBinding] = []
+    index_of: dict[str, int] = {}
+    for edge_name, atom in query.edge_atom_map().items():
+        index_of[edge_name] = len(bindings)
+        bindings.append(
+            AtomBinding(
+                edge=edge_name,
+                relation=atom.relation,
+                arguments=tuple(atom.arguments),
+                variables=tuple(dict.fromkeys(atom.arguments)),
+            )
+        )
+    return tuple(bindings), index_of
+
+
+def compile_plan(
+    query: ConjunctiveQuery,
+    join_tree: JoinTree,
+    mode: AnswerMode | str = AnswerMode.ENUMERATE,
+) -> QueryPlan:
+    """Compile ``join_tree`` into an executable :class:`QueryPlan`.
+
+    The program mirrors the eager pipeline exactly (bag materialisation, the
+    two semijoin passes, the projecting bottom-up join of
+    :func:`repro.query.yannakakis.yannakakis`), so plan-compiled evaluation
+    is answer-for-answer identical to the reference path.  For ``BOOLEAN``
+    plans the top-down pass and the join schedule are omitted: after the
+    bottom-up pass the root is non-empty iff the query holds.
+    """
+    mode = AnswerMode.coerce(mode)
+    atoms, atom_index = _atom_bindings(query)
+    output = tuple(dict.fromkeys(query.free_variables))
+
+    nodes, _parent, children = join_tree.numbered()
+    node_variables = tuple(tuple(sorted(node.variables)) for node in nodes)
+    missing = [v for v in output if not any(v in node.variables for node in nodes)]
+    if missing:
+        raise QueryError(f"output variables {missing} do not occur in the join tree")
+
+    bags: list[BagOp] = []
+    for node_id, node in enumerate(nodes):
+        cover = tuple(atom_index[name] for name in sorted(node.cover_edges))
+        if not cover:
+            raise QueryError(
+                "decomposition node with an empty λ-label cannot be materialised"
+            )
+        assigned = tuple(atom_index[name] for name in sorted(node.assigned_edges))
+        bags.append(
+            BagOp(node=node_id, cover=cover, assigned=assigned, variables=node_variables[node_id])
+        )
+
+    def shared(a: int, b: int) -> tuple[str, ...]:
+        other = set(node_variables[b])
+        return tuple(v for v in node_variables[a] if v in other)
+
+    bottom_up: list[SemijoinOp] = []
+
+    def emit_bottom_up(node_id: int) -> None:
+        for child_id in children[node_id]:
+            emit_bottom_up(child_id)
+            bottom_up.append(
+                SemijoinOp(target=node_id, source=child_id, on=shared(node_id, child_id))
+            )
+
+    emit_bottom_up(0)
+
+    top_down: list[SemijoinOp] = []
+    join_schedule: list[JoinOp | ProjectOp] = []
+    result_variables: list[tuple[str, ...]] = [()] * len(nodes)
+
+    if mode is not AnswerMode.BOOLEAN:
+
+        def emit_top_down(node_id: int) -> None:
+            for child_id in children[node_id]:
+                top_down.append(
+                    SemijoinOp(target=child_id, source=node_id, on=shared(node_id, child_id))
+                )
+                emit_top_down(child_id)
+
+        emit_top_down(0)
+
+        keep = frozenset(output)
+
+        def emit_joins(node_id: int) -> tuple[str, ...]:
+            """Mirror of yannakakis._joined_projection, schemas only."""
+            current = list(node_variables[node_id])
+            bag_set = set(node_variables[node_id])
+            needed = keep | bag_set
+            for child_id in children[node_id]:
+                child_schema = emit_joins(child_id)
+                retain = tuple(a for a in child_schema if a in needed)
+                join_schedule.append(JoinOp(target=node_id, source=child_id, retain=retain))
+                for attribute in retain:
+                    if attribute not in bag_set and attribute not in current:
+                        current.append(attribute)
+            wanted = tuple(a for a in current if a in keep or a in bag_set)
+            if wanted != tuple(current):
+                join_schedule.append(ProjectOp(node=node_id, attributes=wanted))
+            result_variables[node_id] = wanted
+            return wanted
+
+        root_schema = emit_joins(0)
+        if root_schema != output:
+            # Final projection onto the output variables (for a Boolean-shaped
+            # query under ENUMERATE/COUNT this is the 0-ary projection).
+            join_schedule.append(ProjectOp(node=0, attributes=output))
+
+    return QueryPlan(
+        mode=mode,
+        output=output,
+        atoms=atoms,
+        num_nodes=len(nodes),
+        bags=tuple(bags),
+        bottom_up=tuple(bottom_up),
+        top_down=tuple(top_down),
+        join_schedule=tuple(join_schedule),
+        node_variables=node_variables,
+        result_variables=tuple(result_variables),
+        width=join_tree.width,
+        children=tuple(tuple(c) for c in children),
+    )

@@ -127,7 +127,9 @@ class Relation:
         """Semijoin: keep the tuples that join with at least one tuple of ``other``."""
         shared = [a for a in self.schema if a in other.schema]
         if not shared:
-            rows = self.tuples if len(other) else set()
+            # Copy: returning self.tuples by reference would alias the result
+            # with this relation, so mutating one would corrupt the other.
+            rows = set(self.tuples) if len(other) else set()
             return Relation(name or self.name, self.schema, rows)
         own_pos = [self.attribute_index(a) for a in shared]
         other_pos = [other.attribute_index(a) for a in shared]
@@ -145,3 +147,19 @@ class Relation:
     ) -> "Relation":
         """Build a relation from attribute → value dictionaries."""
         return cls(name, schema, [tuple(row[a] for a in schema) for row in rows])
+
+    @classmethod
+    def from_trusted_rows(
+        cls, name: str, schema: Sequence[str], rows: set[tuple[object, ...]]
+    ) -> "Relation":
+        """Adopt an existing set of schema-conformant tuples without copying.
+
+        Fast path for internal producers (the columnar executor decodes its
+        answer columns straight into such a set); the caller guarantees every
+        tuple matches the schema arity and hands over ownership of ``rows``.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.schema = tuple(schema)
+        relation.tuples = rows
+        return relation

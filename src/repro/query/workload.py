@@ -1,0 +1,320 @@
+"""The serving-grade query API: plan once, execute many.
+
+:class:`QueryEngine` is the front door of the plan-compiled query path.  It
+owns
+
+* a **decomposer** built through :mod:`repro.pipeline.registry`, so every
+  decomposition runs through the staged
+  :class:`~repro.pipeline.engine.DecompositionEngine` (simplification +
+  canonical-hash result cache): two queries with the same hypergraph share
+  one decomposition search even if their relation names differ;
+* a **plan cache** — an LRU obtained from the decomposition engine's
+  :meth:`~repro.pipeline.engine.DecompositionEngine.auxiliary_cache`, keyed
+  by (query signature, answer mode, algorithm configuration), so repeated
+  query shapes skip planning entirely;
+* per-database **column stores** so dictionary encodings and base-relation
+  key indexes persist across the queries of a workload.
+
+:class:`QueryWorkload` batches queries against one database and reports
+aggregate timings plus cache traffic — the serving loop in miniature.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass, field
+
+from ..core.width import hypertree_width
+from ..decomp.decomposition import Decomposition
+from ..decomp.jointree import JoinTree, join_tree_from_decomposition
+from ..exceptions import QueryError
+from ..hypergraph.cq import ConjunctiveQuery
+from ..pipeline.engine import DecompositionEngine, default_engine
+from ..pipeline.registry import registry
+from .columnar import ColumnStore, ExecutionResult, PlanExecutor
+from .database import Database
+from .plan import AnswerMode, QueryPlan, compile_plan
+from .relation import Relation
+
+__all__ = [
+    "PlannedQuery",
+    "QueryResult",
+    "QueryEngine",
+    "QueryWorkload",
+    "WorkloadReport",
+]
+
+
+def query_signature(query: ConjunctiveQuery) -> tuple:
+    """Structural identity of a query: atoms (relation + arguments) and output.
+
+    Two queries with equal signatures compile to interchangeable plans; the
+    signature deliberately ignores the query name.
+    """
+    atoms = tuple((atom.relation, atom.arguments) for atom in query.atoms)
+    return (atoms, tuple(dict.fromkeys(query.free_variables)))
+
+
+@dataclass
+class PlannedQuery:
+    """A compiled plan plus the decomposition artefacts it came from."""
+
+    plan: QueryPlan
+    decomposition: Decomposition
+    join_tree: JoinTree
+    width: int
+    decomposition_seconds: float
+    compile_seconds: float
+
+
+@dataclass
+class QueryResult:
+    """One executed query: the execution payload plus serving metadata."""
+
+    query: ConjunctiveQuery
+    planned: PlannedQuery
+    execution: ExecutionResult
+    plan_cached: bool
+    plan_seconds: float
+    execution_seconds: float
+
+    @property
+    def mode(self) -> AnswerMode:
+        """The answer mode the plan was compiled for."""
+        return self.planned.plan.mode
+
+    @property
+    def answers(self) -> Relation | None:
+        """The answer relation (``ENUMERATE`` mode only)."""
+        return self.execution.answers
+
+    @property
+    def boolean(self) -> bool:
+        """Whether the query has at least one answer."""
+        return bool(self.execution.boolean)
+
+    @property
+    def count(self) -> int | None:
+        """The number of distinct answers (``COUNT``/``ENUMERATE`` modes)."""
+        return self.execution.count
+
+    @property
+    def width(self) -> int:
+        """The hypertree width of the plan's decomposition."""
+        return self.planned.width
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of a :class:`QueryWorkload` run."""
+
+    results: list[QueryResult] = field(default_factory=list)
+    total_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+
+    @property
+    def queries_run(self) -> int:
+        """Number of executed queries."""
+        return len(self.results)
+
+
+class QueryEngine:
+    """Plan-compiled, columnar query evaluation with cached plans.
+
+    Parameters mirror :func:`repro.query.cq_eval.evaluate_query`:
+    ``algorithm`` is any registry name, ``max_width``/``timeout`` bound the
+    decomposition search, ``simplify=False`` bypasses the staged engine for
+    the search (the plan cache still applies).  ``engine`` pins an explicit
+    :class:`~repro.pipeline.engine.DecompositionEngine`; by default the
+    process-wide engine is used, so plans and decompositions are shared with
+    every other caller and reset together via
+    :func:`repro.pipeline.engine.set_default_engine`.
+    """
+
+    PLAN_CACHE_NAME = "query-plans"
+
+    def __init__(
+        self,
+        algorithm: str = "hybrid",
+        max_width: int = 10,
+        timeout: float | None = None,
+        simplify: bool = True,
+        plan_cache_entries: int = 256,
+        engine: DecompositionEngine | None = None,
+        **algorithm_options,
+    ) -> None:
+        self.algorithm = algorithm
+        self.max_width = max_width
+        self.timeout = timeout
+        self.simplify = simplify
+        self.engine = engine
+        self.algorithm_options = algorithm_options
+        self._plan_cache_entries = plan_cache_entries
+        self._configuration = registry.configuration_key(
+            algorithm,
+            timeout=timeout,
+            use_engine=simplify,
+            **algorithm_options,
+        )
+        #: Per-database column stores, dropped when the database is collected.
+        self._stores: "weakref.WeakKeyDictionary[Database, ColumnStore]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # caches
+    # ------------------------------------------------------------------ #
+    def _decomposition_engine(self) -> DecompositionEngine:
+        return self.engine if self.engine is not None else default_engine()
+
+    def _plan_cache(self):
+        return self._decomposition_engine().auxiliary_cache(
+            self.PLAN_CACHE_NAME, self._plan_cache_entries
+        )
+
+    def store_for(self, database: Database) -> ColumnStore:
+        """The persistent column store of ``database`` (created on demand)."""
+        store = self._stores.get(database)
+        if store is None:
+            store = ColumnStore(database)
+            self._stores[database] = store
+        return store
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(
+        self, query: ConjunctiveQuery, mode: AnswerMode | str = AnswerMode.ENUMERATE
+    ) -> tuple[PlannedQuery, bool]:
+        """Return the compiled plan for ``query`` and whether it was cached."""
+        mode = AnswerMode.coerce(mode)
+        key = (query_signature(query), mode.value, self._configuration, self.max_width)
+        cache = self._plan_cache()
+        planned = cache.get(key)
+        if planned is not None:
+            self.plan_cache_hits += 1
+            return planned, True
+        self.plan_cache_misses += 1
+
+        start = time.monotonic()
+        width, decomposition = hypertree_width(
+            query.hypergraph(),
+            algorithm=self.algorithm,
+            max_width=self.max_width,
+            timeout=self.timeout,
+            use_engine=self.simplify,
+            engine=self.engine,
+            **self.algorithm_options,
+        )
+        decomposition_seconds = time.monotonic() - start
+        if width is None or decomposition is None:
+            raise QueryError(
+                f"no hypertree decomposition of width <= {self.max_width} found "
+                f"for the query"
+            )
+        start = time.monotonic()
+        join_tree = join_tree_from_decomposition(decomposition)
+        join_tree.validate()
+        plan = compile_plan(query, join_tree, mode)
+        compile_seconds = time.monotonic() - start
+        planned = PlannedQuery(
+            plan=plan,
+            decomposition=decomposition,
+            join_tree=join_tree,
+            width=width,
+            decomposition_seconds=decomposition_seconds,
+            compile_seconds=compile_seconds,
+        )
+        cache.put(key, planned)
+        return planned, False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        mode: AnswerMode | str = AnswerMode.ENUMERATE,
+    ) -> QueryResult:
+        """Plan (or fetch the cached plan for) ``query`` and run it."""
+        start = time.monotonic()
+        planned, cached = self.plan(query, mode)
+        plan_seconds = time.monotonic() - start
+
+        store = self.store_for(database)
+        start = time.monotonic()
+        execution = PlanExecutor(store).execute(planned.plan)
+        execution_seconds = time.monotonic() - start
+        return QueryResult(
+            query=query,
+            planned=planned,
+            execution=execution,
+            plan_cached=cached,
+            plan_seconds=plan_seconds,
+            execution_seconds=execution_seconds,
+        )
+
+    def execute_batch(
+        self,
+        queries,
+        database: Database,
+        mode: AnswerMode | str = AnswerMode.ENUMERATE,
+    ) -> list[QueryResult]:
+        """Execute a sequence of queries against one database."""
+        return [self.execute(query, database, mode) for query in queries]
+
+
+class QueryWorkload:
+    """A batch of (query, mode) pairs served against one database.
+
+    Build it incrementally with :meth:`add` (or pass queries up front), then
+    :meth:`run`.  All queries share the engine's plan cache, decomposition
+    cache and the database's column store, so repeated shapes are served
+    from warm state — the report's cache counters make that visible.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        engine: QueryEngine | None = None,
+        default_mode: AnswerMode | str = AnswerMode.ENUMERATE,
+    ) -> None:
+        self.database = database
+        self.engine = engine if engine is not None else QueryEngine()
+        self.default_mode = AnswerMode.coerce(default_mode)
+        self._items: list[tuple[ConjunctiveQuery, AnswerMode]] = []
+
+    def add(
+        self, query: ConjunctiveQuery, mode: AnswerMode | str | None = None
+    ) -> "QueryWorkload":
+        """Append a query (chainable)."""
+        resolved = self.default_mode if mode is None else AnswerMode.coerce(mode)
+        self._items.append((query, resolved))
+        return self
+
+    def extend(self, queries, mode: AnswerMode | str | None = None) -> "QueryWorkload":
+        """Append many queries with one mode (chainable)."""
+        for query in queries:
+            self.add(query, mode)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def run(self) -> WorkloadReport:
+        """Execute every query; returns the per-query results plus totals."""
+        report = WorkloadReport()
+        hits_before = self.engine.plan_cache_hits
+        misses_before = self.engine.plan_cache_misses
+        start = time.monotonic()
+        for query, mode in self._items:
+            report.results.append(self.engine.execute(query, self.database, mode))
+        report.total_seconds = time.monotonic() - start
+        report.plan_cache_hits = self.engine.plan_cache_hits - hits_before
+        report.plan_cache_misses = self.engine.plan_cache_misses - misses_before
+        return report

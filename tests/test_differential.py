@@ -104,3 +104,43 @@ def test_monotonicity_in_k():
     results = [LogKDecomposer().decompose(hypergraph, k).success for k in (1, 2, 3, 4)]
     first_success = results.index(True)
     assert all(results[first_success:])
+
+
+# --------------------------------------------------------------------------- #
+# Certificate validation across algorithm *configurations*
+# --------------------------------------------------------------------------- #
+# Beyond the default configurations above, every ablation/engine configuration
+# must emit certificates that pass the independent validate_hd oracle.  The
+# seeds 5000/5007 instances are the ones on which the pre-fix hybrid (det-k
+# delegation ignoring the allowed-edge set) and log-k-basic (no allowed-edge
+# exclusion at all) used to emit condition-4-violating trees; see ROADMAP.md.
+CERTIFICATE_CONFIGS = {
+    "logk": lambda: LogKDecomposer(use_engine=False),
+    "logk-norestrict-flag": lambda: LogKDecomposer(
+        use_engine=False, restrict_allowed_edges=False
+    ),
+    "logk-nobalance": lambda: LogKDecomposer(use_engine=False, require_balanced=False),
+    "logk-basic": lambda: LogKBasicDecomposer(use_engine=False),
+    "detk": lambda: DetKDecomposer(use_engine=False),
+    "detk-nocache": lambda: DetKDecomposer(use_engine=False, use_cache=False),
+    "hybrid-edgecount": lambda: HybridDecomposer(
+        metric="EdgeCount", threshold=4, use_engine=False
+    ),
+    "hybrid-weighted": lambda: HybridDecomposer(
+        metric="WeightedCount", threshold=8, use_engine=False
+    ),
+}
+
+
+@pytest.mark.parametrize("seed", [5000, 5007])
+def test_all_configurations_emit_valid_certificates(seed):
+    hypergraph = generators.random_csp(9, 10, arity=3, seed=seed)
+    for k in (2, 3):
+        answers = {}
+        for name, factory in CERTIFICATE_CONFIGS.items():
+            result = factory().decompose(hypergraph, k)
+            answers[name] = result.success
+            if result.success:
+                validate_hd(result.decomposition)
+                assert result.decomposition.width <= k
+        assert len(set(answers.values())) == 1, (seed, k, answers)

@@ -9,7 +9,7 @@ from repro.core.hybrid import EdgeCountMetric, WeightedCountMetric, make_metric
 from repro.decomp import validate_hd
 from repro.decomp.extended import full_comp
 from repro.exceptions import SolverError
-from repro.hypergraph import generators
+from repro.hypergraph import Hypergraph, generators
 
 
 def test_metric_factory():
@@ -96,3 +96,27 @@ def test_hybrid_agrees_with_logk_on_medium_instances():
 def test_hybrid_timeout():
     result = HybridDecomposer(timeout=0.0).decompose(generators.clique(7), 3)
     assert result.timed_out
+
+
+#: random_csp(9, 10, arity=3, seed=5007): the instance from ROADMAP.md on
+#: which the hybrid decomposer used to emit an HD violating condition 4 (the
+#: special condition) — the det-k leaf engine ignored log-k's allowed-edge
+#: set, so an "up" fragment above a stitched separator could put an edge of
+#: the component below into a λ-label.
+CONDITION4_REGRESSION_EDGES = {
+    "c0": ["x2", "x4", "x5"], "c1": ["x3", "x5", "x8"], "c2": ["x2", "x3", "x1"],
+    "c3": ["x2", "x4", "x3"], "c4": ["x2", "x6", "x1"], "c5": ["x7", "x4", "x3"],
+    "c6": ["x2", "x3", "x8"], "c7": ["x7", "x2", "x5"], "c8": ["x0", "x2", "x6"],
+    "c9": ["x0", "x7", "x5"],
+}
+
+
+@pytest.mark.parametrize("use_engine", [False, True])
+def test_detk_delegation_respects_allowed_edges(use_engine):
+    h = Hypergraph(CONDITION4_REGRESSION_EDGES)
+    result = HybridDecomposer(
+        metric="EdgeCount", threshold=4, use_engine=use_engine
+    ).decompose(h, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+    assert result.decomposition.width <= 2

@@ -102,6 +102,18 @@ def test_semijoin_without_shared_attributes(r):
     assert r.semijoin(empty).is_empty()
 
 
+def test_semijoin_without_shared_attributes_returns_a_copy(r):
+    # Regression: the result used to alias self.tuples, so mutating it
+    # (as e.g. an executor compacting intermediate results might) silently
+    # corrupted the source relation.
+    nonempty = Relation("u", ("q",), [(1,)])
+    before = set(r.tuples)
+    result = r.semijoin(nonempty)
+    assert result.tuples is not r.tuples
+    result.tuples.clear()
+    assert r.tuples == before
+
+
 def test_from_dicts_roundtrip():
     rel = Relation.from_dicts("w", ("a", "b"), [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
     assert set(rel.tuples) == {(1, 2), (3, 4)}
