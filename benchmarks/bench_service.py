@@ -1,0 +1,197 @@
+"""Micro-benchmark: DecompositionService throughput scaling (PR 5).
+
+A duplicate-heavy serving workload — the traffic shape the service is built
+for — is measured at 1/2/4/8 client threads, on a cold and a warm cache:
+
+* every client submits the *same* stream: per round, one **fresh** instance
+  (a salted-vertex clique, new canonical hash every round, ~5-10 ms of
+  search) plus a batch of **duplicate** requests over a small warm set;
+* with in-flight dedup + the sharded result memo, the expensive searches run
+  once per distinct key *no matter how many clients submit them*, so the
+  aggregate request throughput scales with the client count even though the
+  GIL serialises the Python compute itself;
+* **cold** starts with empty caches (scaling comes from in-flight
+  coalescing), **warm** pre-warms the duplicate set (scaling comes from the
+  memo fast path, with the per-round fresh keys still coalesced).
+
+The summary test asserts the acceptance bar — warm-cache throughput at 4
+clients >= 2x the single-client throughput — and that the dedup counter
+proves coalescing.  The pytest-benchmark pairs feed the CI smoke artifact
+(``BENCH_service.json``).  Scale via ``REPRO_BENCH_SCALE`` (``tiny``
+default): larger scales add rounds and duplicates, not harder instances.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from conftest import write_result
+
+from repro.hypergraph import Hypergraph, generators
+from repro.pipeline.engine import DecompositionEngine
+from repro.service import DecompositionService
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+ROUNDS = {"tiny": 8, "small": 12, "medium": 16}.get(SCALE, 8)
+DUPLICATES = {"tiny": 10, "small": 16, "medium": 24}.get(SCALE, 10)
+CLIENT_COUNTS = (1, 2, 4, 8)
+K = 2
+
+
+def _salted(base: Hypergraph, salt: str) -> Hypergraph:
+    """A vertex-renamed copy: identical structure and search cost, but a
+    distinct canonical hash — i.e. a genuinely new cache key."""
+    return Hypergraph(
+        {
+            name: [f"{vertex}~{salt}" for vertex in sorted(vertices)]
+            for name, vertices in base.edges_as_dict().items()
+        },
+        name=f"{base.name or 'instance'}~{salt}",
+    )
+
+
+def _fresh_instance(salt: str) -> Hypergraph:
+    # clique(6) at k=2 is a stable negative instance: the search is
+    # exhaustive (~5-10 ms) and its cost does not depend on the salt.
+    return _salted(generators.clique(6), salt)
+
+
+def _warm_set() -> list[Hypergraph]:
+    return [
+        generators.cycle(6),
+        generators.cycle(8),
+        generators.cycle(10),
+        generators.grid(2, 3),
+        generators.hypercycle(8, 3),
+    ]
+
+
+def _run_clients(service: DecompositionService, clients: int, salt_prefix: str):
+    """Drive ``clients`` identical duplicate-heavy streams; returns elapsed
+    seconds and the number of requests served."""
+    warm = _warm_set()
+    fresh = [_fresh_instance(f"{salt_prefix}-r{r}") for r in range(ROUNDS)]
+    per_client = ROUNDS * (1 + DUPLICATES)
+    barrier = threading.Barrier(clients + 1)
+    errors: list[BaseException] = []
+
+    def client() -> None:
+        try:
+            barrier.wait(timeout=30)
+            for round_ in range(ROUNDS):
+                tickets = [service.submit(fresh[round_], K)]
+                for i in range(DUPLICATES):
+                    tickets.append(service.submit(warm[i % len(warm)], K))
+                for ticket in tickets:
+                    ticket.result(timeout=120)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by the driver
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, daemon=True) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for thread in threads:
+        # Bounded join: one stuck request must fail the CI bench step, not
+        # stall the job until the runner kills it.
+        thread.join(timeout=300)
+        if thread.is_alive():
+            raise TimeoutError("benchmark client thread did not finish")
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, clients * per_client
+
+
+def _measure(clients: int, warm_cache: bool, salt_prefix: str):
+    """One arm: a fresh service/engine, optionally pre-warmed duplicates."""
+    service = DecompositionService(num_workers=4, engine=DecompositionEngine())
+    try:
+        if warm_cache:
+            for hypergraph in _warm_set():
+                service.submit(hypergraph, K).result(timeout=120)
+        elapsed, requests = _run_clients(service, clients, salt_prefix)
+        stats = service.stats()
+        return requests / elapsed, elapsed, stats
+    finally:
+        service.shutdown(wait=True, cancel_pending=True)
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark pairs (feed BENCH_service.json)
+# --------------------------------------------------------------------------- #
+def test_service_warm_fast_path(benchmark):
+    """Single-client latency of memo fast-path hits (the warm serving floor)."""
+    service = DecompositionService(num_workers=2, engine=DecompositionEngine())
+    try:
+        warm = _warm_set()
+        for hypergraph in warm:
+            service.submit(hypergraph, K).result(timeout=120)
+
+        def warm_pass():
+            return [service.submit(h, K).result(timeout=120) for h in warm * 10]
+
+        results = benchmark(warm_pass)
+        assert all(r.success for r in results)
+        assert service.stats().fast_path_hits > 0
+    finally:
+        service.shutdown(wait=True, cancel_pending=True)
+
+
+def test_service_coalesced_burst(benchmark):
+    """A burst of duplicate submissions for one in-flight expensive key."""
+    counter = iter(range(1_000_000))
+
+    def burst():
+        service = DecompositionService(num_workers=2, engine=DecompositionEngine())
+        try:
+            fresh = _fresh_instance(f"burst-{next(counter)}")
+            tickets = [service.submit(fresh, K) for _ in range(16)]
+            results = [t.result(timeout=120) for t in tickets]
+            stats = service.stats()
+            assert stats.computations == 1 and stats.coalesced + stats.fast_path_hits == 15
+            return results
+        finally:
+            service.shutdown(wait=True, cancel_pending=True)
+
+    results = benchmark(burst)
+    assert all(not r.success for r in results)  # clique(6) has no width-2 HD
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance measurement
+# --------------------------------------------------------------------------- #
+def test_service_throughput_scaling_summary():
+    """Warm-cache throughput must scale >= 2x from 1 to 4 client threads."""
+    lines = [
+        f"decomposition-service throughput (scale={SCALE}, {ROUNDS} rounds x "
+        f"(1 fresh + {DUPLICATES} duplicate) requests per client, k={K})"
+    ]
+    throughput: dict[tuple[str, int], float] = {}
+    coalesced_total = 0
+    for warm_cache, label in ((False, "cold"), (True, "warm")):
+        for clients in CLIENT_COUNTS:
+            rps, elapsed, stats = _measure(clients, warm_cache, f"{label}-c{clients}")
+            throughput[(label, clients)] = rps
+            coalesced_total += stats.coalesced
+            lines.append(
+                f"  {label} cache, {clients} client(s): {rps:8.0f} req/s "
+                f"({elapsed * 1000:7.1f} ms; computations={stats.computations}, "
+                f"coalesced={stats.coalesced}, fast-path={stats.fast_path_hits})"
+            )
+
+    warm_speedup = throughput[("warm", 4)] / throughput[("warm", 1)]
+    cold_speedup = throughput[("cold", 4)] / throughput[("cold", 1)]
+    lines.append(f"  warm 1 -> 4 clients scaling: {warm_speedup:.2f}x")
+    lines.append(f"  cold 1 -> 4 clients scaling: {cold_speedup:.2f}x")
+    write_result("service_throughput", "\n".join(lines))
+
+    # In-flight dedup must actually have coalesced concurrent duplicates.
+    assert coalesced_total > 0, "no request was coalesced across the runs"
+    assert warm_speedup >= 2.0, (
+        f"warm-cache throughput scaled only {warm_speedup:.2f}x from 1 to 4 "
+        "client threads (acceptance bar: >= 2x)"
+    )

@@ -13,17 +13,27 @@ and Pichler.  The package provides:
   routes through: width-preserving simplification with reversible lifting,
   the declarative algorithm registry, and a canonical-hash result cache,
 * :mod:`repro.query` — HD-guided conjunctive query evaluation and CSP solving,
+* :mod:`repro.service` — the concurrent serving layer: sharded caches,
+  in-flight request deduplication and a prioritised worker pool
+  (``python -m repro.serve --selftest`` smoke-tests it end to end),
 * :mod:`repro.bench` — the HyperBench-like corpus and the harness regenerating
   the paper's tables and figures.
 
-Quickstart::
+Quickstart (doctest-verified; see ``docs/api.md`` for the full reference):
 
-    from repro import Hypergraph, decompose, hypertree_width
+    >>> from repro import Hypergraph, decompose, hypertree_width
+    >>> h = Hypergraph({"r1": ["x", "y"], "r2": ["y", "z"], "r3": ["z", "x"]})
+    >>> width, hd = hypertree_width(h)
+    >>> width
+    2
+    >>> decompose(h, k=2).success            # decision problem for one width
+    True
+    >>> decompose(h, k=1).success            # a triangle has no width-1 HD
+    False
 
-    h = Hypergraph({"r1": ["x", "y"], "r2": ["y", "z"], "r3": ["z", "x"]})
-    width, hd = hypertree_width(h)           # -> (2, <HypertreeDecomposition ...>)
-    result = decompose(h, k=2)               # parametrised check
-    print(hd.describe())
+The heavy layers (:mod:`repro.query`, :mod:`repro.service`) are imported
+lazily: ``from repro import DecompositionService`` works, but merely
+importing :mod:`repro` does not pull the query engine in.
 """
 
 from .exceptions import (
@@ -32,6 +42,7 @@ from .exceptions import (
     ParseError,
     QueryError,
     ReproError,
+    ServiceError,
     SolverError,
     TimeoutExceeded,
     ValidationError,
@@ -83,6 +94,31 @@ from .core import (
 
 __version__ = "1.0.0"
 
+#: Lazily exported names (PEP 562): resolved on first attribute access so the
+#: base import stays light while the serving/query facade remains one hop away.
+_LAZY_EXPORTS = {
+    "DecompositionService": ("repro.service", "DecompositionService"),
+    "ServiceStats": ("repro.service", "ServiceStats"),
+    "ServiceTicket": ("repro.service", "ServiceTicket"),
+    "QueryEngine": ("repro.query", "QueryEngine"),
+    "QueryWorkload": ("repro.query", "QueryWorkload"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
     "__version__",
     # exceptions
@@ -94,6 +130,7 @@ __all__ = [
     "SolverError",
     "TimeoutExceeded",
     "QueryError",
+    "ServiceError",
     # hypergraph substrate
     "Hypergraph",
     "Atom",
@@ -134,4 +171,10 @@ __all__ = [
     "set_default_engine",
     "simplify",
     "lift_decomposition",
+    # serving + query facade (lazy)
+    "DecompositionService",
+    "ServiceStats",
+    "ServiceTicket",
+    "QueryEngine",
+    "QueryWorkload",
 ]

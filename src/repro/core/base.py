@@ -259,7 +259,11 @@ class Decomposer(ABC):
         return default_engine().decompose(self, hypergraph, k)
 
     def decompose_raw(
-        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+        cancel_event=None,
     ) -> DecompositionResult:
         """Run the search directly, without simplification, caching or lifting.
 
@@ -267,11 +271,18 @@ class Decomposer(ABC):
         connected component of the simplified instance, passing the *remaining*
         time budget via ``timeout`` so one ``decompose`` call never exceeds
         the configured budget overall (``None`` means use ``self.timeout``).
+        ``cancel_event`` (a :class:`threading.Event`) aborts the search at
+        the next periodic deadline check once set; the outcome is reported
+        as ``timed_out`` — this is how the serving layer implements
+        per-request cancellation.
         """
         if hypergraph.num_edges == 0:
             raise SolverError("cannot decompose a hypergraph without edges")
         context = SearchContext(
-            hypergraph, k, timeout=self.timeout if timeout is None else timeout
+            hypergraph,
+            k,
+            timeout=self.timeout if timeout is None else timeout,
+            cancel_event=cancel_event,
         )
         start = time.monotonic()
         timed_out = False

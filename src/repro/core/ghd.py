@@ -59,12 +59,19 @@ class BalancedGHDDecomposer(Decomposer):
     # The GHD solver produces GeneralizedHypertreeDecomposition objects, so it
     # overrides decompose_raw() rather than _run() (which is typed for HDs).
     def decompose_raw(
-        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+        cancel_event=None,
     ) -> DecompositionResult:
         if hypergraph.num_edges == 0:
             raise SolverError("cannot decompose a hypergraph without edges")
         context = SearchContext(
-            hypergraph, k, timeout=self.timeout if timeout is None else timeout
+            hypergraph,
+            k,
+            timeout=self.timeout if timeout is None else timeout,
+            cancel_event=cancel_event,
         )
         start = time.monotonic()
         timed_out = False

@@ -115,6 +115,10 @@ class HybridDecomposer(Decomposer):
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
+        if not restrict_allowed_edges:
+            from .logk import _warn_restrict_allowed_edges_ignored
+
+            _warn_restrict_allowed_edges_ignored()
         self.metric = make_metric(metric) if isinstance(metric, str) else metric
         self.threshold = threshold
         self.negative_base_case = negative_base_case

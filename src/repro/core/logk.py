@@ -48,6 +48,20 @@ from .fragments import fragment_to_decomposition, replace_special_leaf, special_
 
 __all__ = ["LogKSearch", "LogKDecomposer"]
 
+
+def _warn_restrict_allowed_edges_ignored() -> None:
+    """One warning site shared by the decomposers that accept the dead flag."""
+    import warnings
+
+    warnings.warn(
+        "restrict_allowed_edges=False is ignored: the allowed-edge "
+        "restriction is correctness-relevant (HD condition 4 on stitched "
+        "trees) and always applied — see the root-cause note in ROADMAP.md "
+        "and the repro.core.logk module docs.  The flag will be removed.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 LeafDelegate = Callable[[Comp, int, int, frozenset[int]], FragmentNode | None]
 DelegatePredicate = Callable[[Comp], bool]
 
@@ -343,6 +357,8 @@ class LogKDecomposer(Decomposer):
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
+        if not restrict_allowed_edges:
+            _warn_restrict_allowed_edges_ignored()
         self.negative_base_case = negative_base_case
         self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning

@@ -43,6 +43,19 @@ from .logk import LogKSearch
 __all__ = ["ParallelLogKDecomposer"]
 
 
+class _EitherEvent:
+    """Read-only OR view over two events (only ``is_set`` is consulted)."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second) -> None:
+        self.first = first
+        self.second = second
+
+    def is_set(self) -> bool:
+        return self.first.is_set() or self.second.is_set()
+
+
 def _worker_search_to_queue(result_queue, args: tuple) -> None:
     """Process-backend entry point: run the search, ship the outcome back.
 
@@ -145,10 +158,16 @@ class ParallelLogKDecomposer(Decomposer):
     # Decomposer interface
     # ------------------------------------------------------------------ #
     def decompose_raw(
-        self, hypergraph: Hypergraph, k: int, timeout: float | None = None
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+        cancel_event=None,
     ) -> DecompositionResult:
         if self.num_workers <= 1:
-            return self._sequential().decompose_raw(hypergraph, k, timeout=timeout)
+            return self._sequential().decompose_raw(
+                hypergraph, k, timeout=timeout, cancel_event=cancel_event
+            )
         start = time.monotonic()
         partitions = CoverEnumerator(hypergraph, k).partition_first_edges(
             None, self.num_workers
@@ -157,7 +176,7 @@ class ParallelLogKDecomposer(Decomposer):
         runner = self._run_processes if self.backend == "process" else self._run_threads
         effective_timeout = self.timeout if timeout is None else timeout
         timed_out, success, fragment, stats = runner(
-            hypergraph, k, partitions, effective_timeout
+            hypergraph, k, partitions, effective_timeout, cancel_event
         )
         elapsed = time.monotonic() - start
         decomposition = None
@@ -228,6 +247,7 @@ class ParallelLogKDecomposer(Decomposer):
         k: int,
         partitions: list[list[int]],
         timeout: float | None,
+        cancel_event: threading.Event | None = None,
     ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
         # Plain Process workers + one result queue instead of a Pool:
         # ``Pool.terminate`` can deadlock when its task-handler thread is
@@ -251,6 +271,11 @@ class ParallelLogKDecomposer(Decomposer):
         try:
             pending = len(workers)
             while pending:
+                # External cancellation (a threading.Event cannot cross the
+                # process boundary): terminate the workers in the finally
+                # block and report the run as undecided.
+                if cancel_event is not None and cancel_event.is_set():
+                    return True, False, None, stats
                 try:
                     outcome = result_queue.get(timeout=0.1)
                 except pyqueue.Empty:
@@ -300,21 +325,33 @@ class ParallelLogKDecomposer(Decomposer):
         k: int,
         partitions: list[list[int]],
         timeout: float | None,
+        cancel_event: threading.Event | None = None,
     ) -> tuple[bool, bool, FragmentNode | None, SearchStatistics]:
         stats = SearchStatistics()
         timed_out = False
         cancel = threading.Event()
+        # Workers poll one object; _EitherEvent folds the caller's external
+        # cancellation into the coordinator's own first-success signal
+        # without aliasing the two (setting the internal event on success
+        # must not look like a caller cancel to anyone else).
+        worker_cancel = (
+            cancel if cancel_event is None else _EitherEvent(cancel, cancel_event)
+        )
         with ThreadPoolExecutor(max_workers=len(partitions)) as executor:
             futures = {
                 executor.submit(
                     _worker_search,
                     *self._worker_args(hypergraph, k, part, timeout),
-                    cancel_event=cancel,
+                    cancel_event=worker_cancel,
                 )
                 for part in partitions
             }
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                if cancel_event is not None and cancel_event.is_set():
+                    for other in futures:
+                        other.cancel()
+                    return True, False, None, stats
                 for future in done:
                     worker_timeout, success, fragment, worker_stats = future.result()
                     stats.merge(worker_stats)

@@ -37,3 +37,7 @@ class TimeoutExceeded(ReproError):
 
 class QueryError(ReproError):
     """Raised for malformed queries or schema mismatches in the query substrate."""
+
+
+class ServiceError(ReproError):
+    """Raised by the serving layer: submit after shutdown, cancelled tickets."""

@@ -32,10 +32,25 @@ benchmark harness, the query layer and user code all construct algorithms
 through the registry and call ``decompose``, so they all inherit the same
 pipeline, including the parallel backend (whose worker partitioning then
 operates on the already-reduced instance).
+
+Example (doctest-verified):
+
+    >>> from repro import DecompositionEngine, LogKDecomposer
+    >>> from repro.hypergraph import generators
+    >>> engine = DecompositionEngine()
+    >>> decomposer = LogKDecomposer(engine=engine)
+    >>> decomposer.decompose(generators.cycle(8), 2).success
+    True
+    >>> repeat = decomposer.decompose(generators.cycle(8), 2)  # cache hit
+    >>> engine.cache.statistics.hits
+    1
+    >>> "decompose" in repeat.statistics.stage_seconds  # no search ran
+    False
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -49,7 +64,7 @@ from ..decomp.decomposition import (
 from ..decomp.validation import validate_ghd, validate_hd
 from ..hypergraph import Hypergraph
 from ..hypergraph.properties import connected_components
-from ..lru import BoundedLRU
+from ..lru import ShardedLRU, ShardStats
 from .simplify import SimplificationTrace, lift_decomposition, simplify
 
 __all__ = [
@@ -61,6 +76,24 @@ __all__ = [
 ]
 
 
+#: Per-class memo of the decompose_raw signature probe: whether the override
+#: accepts the cancel_event keyword is a static property of the class, and
+#: inspect.signature is too slow for the serving hot path.
+_accepts_cancel_event_memo: dict[type, bool] = {}
+
+
+def _accepts_cancel_event(decomposer_type: type) -> bool:
+    accepted = _accepts_cancel_event_memo.get(decomposer_type)
+    if accepted is None:
+        parameters = inspect.signature(decomposer_type.decompose_raw).parameters
+        accepted = "cancel_event" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        _accepts_cancel_event_memo[decomposer_type] = accepted
+    return accepted
+
+
 def _copy_node(node: DecompositionNode) -> DecompositionNode:
     return DecompositionNode(
         bag=node.bag,
@@ -69,14 +102,10 @@ def _copy_node(node: DecompositionNode) -> DecompositionNode:
     )
 
 
-@dataclass
-class CacheStatistics:
-    """Hit/miss/eviction counters of a :class:`ResultCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    stores: int = 0
+#: Hit/miss/store/eviction counters of a :class:`ResultCache`.  Kept as an
+#: alias of :class:`repro.lru.ShardStats` (same four counters, plus
+#: ``hit_rate``) so adding a counter to the sharded LRU shows up here too.
+CacheStatistics = ShardStats
 
 
 @dataclass(frozen=True)
@@ -97,29 +126,38 @@ class _CacheEntry:
 
 
 class ResultCache:
-    """Thread-safe LRU cache of decided decomposition outcomes."""
+    """Thread-safe, lock-striped LRU cache of decided decomposition outcomes.
 
-    def __init__(self, max_entries: int = 1024) -> None:
-        self.max_entries = max_entries
-        self.statistics = CacheStatistics()
-        self._entries: BoundedLRU = BoundedLRU(max_entries)
-        self._lock = threading.Lock()
+    The entries live in a :class:`~repro.lru.ShardedLRU`: the key space is
+    partitioned over ``num_shards`` independently locked shards, so
+    concurrent callers (the :class:`~repro.service.DecompositionService`
+    worker pool in particular) probing different instances never serialise
+    on a global cache lock.  :attr:`statistics` aggregates the per-shard
+    counters; :meth:`shard_statistics` exposes them individually for the
+    service stats snapshot.
+    """
+
+    def __init__(self, max_entries: int = 1024, num_shards: int = 8) -> None:
+        self._entries = ShardedLRU(max_entries, num_shards=num_shards)
+        self.max_entries = self._entries.max_entries
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        """Aggregate hit/miss/store/eviction counters over all shards."""
+        return self._entries.stats()
+
+    def shard_statistics(self) -> list[ShardStats]:
+        """Per-shard traffic counters (hit rates feed the service snapshot)."""
+        return self._entries.shard_stats()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+        self._entries.clear()
 
     def get(self, key: tuple) -> _CacheEntry | None:
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self.statistics.hits += 1
-                return entry
-            self.statistics.misses += 1
-            return None
+        return self._entries.get(key)
 
     def put(
         self,
@@ -135,9 +173,7 @@ class ResultCache:
             kind=kind,
             stats=replace(stats, stage_seconds={}) if stats is not None else SearchStatistics(),
         )
-        with self._lock:
-            self.statistics.stores += 1
-            self.statistics.evictions += self._entries.put(key, entry)
+        self._entries.put(key, entry)
 
 
 class DecompositionEngine:
@@ -173,10 +209,10 @@ class DecompositionEngine:
             cache = None
         self.cache = cache
         self.validate = validate
-        self._auxiliary: dict[str, BoundedLRU] = {}
+        self._auxiliary: dict[str, ShardedLRU] = {}
         self._auxiliary_lock = threading.Lock()
 
-    def auxiliary_cache(self, name: str, max_entries: int = 256) -> BoundedLRU:
+    def auxiliary_cache(self, name: str, max_entries: int = 256) -> ShardedLRU:
         """A named side-cache sharing this engine's lifecycle.
 
         Downstream layers that key derived artefacts off decomposition work —
@@ -184,12 +220,14 @@ class DecompositionEngine:
         programs here — get an LRU that lives and dies with the engine, so
         :func:`set_default_engine` (used by tests to isolate cache state)
         resets them together with the result cache.  The first caller fixes
-        ``max_entries``; later callers receive the same instance.
+        ``max_entries``; later callers receive the same instance.  The cache
+        is a lock-striped :class:`~repro.lru.ShardedLRU`, safe to hit from
+        the concurrent serving layer without further locking.
         """
         with self._auxiliary_lock:
             cache = self._auxiliary.get(name)
             if cache is None:
-                cache = BoundedLRU(max_entries)
+                cache = ShardedLRU(max_entries)
                 self._auxiliary[name] = cache
             return cache
 
@@ -197,9 +235,20 @@ class DecompositionEngine:
     # pipeline
     # ------------------------------------------------------------------ #
     def decompose(
-        self, decomposer: Decomposer, hypergraph: Hypergraph, k: int
+        self,
+        decomposer: Decomposer,
+        hypergraph: Hypergraph,
+        k: int,
+        cancel_event: threading.Event | None = None,
     ) -> DecompositionResult:
-        """Run the full pipeline; the result is hosted on ``hypergraph``."""
+        """Run the full pipeline; the result is hosted on ``hypergraph``.
+
+        ``cancel_event`` (a :class:`threading.Event`) is threaded into the
+        per-component searches: setting it makes the run abort at the next
+        periodic deadline check and report ``timed_out`` — the same
+        machinery the parallel backend uses to stop superfluous workers.
+        Cancelled runs are never cached.
+        """
         start = time.monotonic()
         stats = SearchStatistics()
 
@@ -237,7 +286,7 @@ class DecompositionEngine:
         if success is None:
             t0 = time.monotonic()
             success, timed_out, combined_root, kind = self._decompose_components(
-                decomposer, reduced, k, stats
+                decomposer, reduced, k, stats, cancel_event
             )
             stats.record_stage("decompose", time.monotonic() - t0)
             if self.cache is not None and key is not None and not timed_out:
@@ -282,6 +331,7 @@ class DecompositionEngine:
         reduced: Hypergraph,
         k: int,
         stats: SearchStatistics,
+        cancel_event: threading.Event | None = None,
     ) -> tuple[bool, bool, DecompositionNode | None, type]:
         """Decompose each connected component and graft the HDs together."""
         if self.split_components:
@@ -300,15 +350,29 @@ class DecompositionEngine:
             if decomposer.timeout is not None
             else None
         )
+        # decompose_raw is an established override point that predates the
+        # cancel_event parameter; only pass the keyword to overrides that
+        # accept it.  Legacy subclasses still get coarse cancellation from
+        # the per-component check above.
+        pass_cancel = cancel_event is not None and _accepts_cancel_event(
+            type(decomposer)
+        )
         roots: list[DecompositionNode] = []
         kind: type = HypertreeDecomposition
         for host in hosts:
+            if cancel_event is not None and cancel_event.is_set():
+                return False, True, None, kind
             remaining = None
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return False, True, None, kind
-            result = decomposer.decompose_raw(host, k, timeout=remaining)
+            if pass_cancel:
+                result = decomposer.decompose_raw(
+                    host, k, timeout=remaining, cancel_event=cancel_event
+                )
+            else:
+                result = decomposer.decompose_raw(host, k, timeout=remaining)
             stats.merge(result.statistics)
             if result.timed_out:
                 return False, True, None, kind

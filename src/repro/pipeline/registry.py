@@ -20,6 +20,14 @@ imports the registry; eager imports would cycle).
 Names are case-sensitive.  Each entry may carry aliases; the algorithm's
 public :attr:`~repro.core.base.Decomposer.name` (e.g. ``"log-k-decomp"``)
 is an alias of its short registry name (e.g. ``"logk"``).
+
+Beyond building algorithms, the registry is the library's notion of
+*configuration identity*: :meth:`DecomposerRegistry.configuration_key`
+resolves aliases and merges registered defaults into a stable tuple, which
+keys the query layer's compiled-plan cache and the serving layer's
+in-flight deduplication table (:mod:`repro.service`) — two callers asking
+for the same algorithm under different spellings coalesce onto one
+computation.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from collections.abc import Callable, Iterable
 from ..exceptions import SolverError
 
 __all__ = [
+    "PRIMITIVE_OPTION_TYPES",
     "AlgorithmEntry",
     "DecomposerRegistry",
     "registry",
@@ -41,6 +50,14 @@ __all__ = [
     "resolve",
     "configuration_key",
 ]
+
+
+#: Option-value types whose equality is a safe configuration identity.
+#: :meth:`DecomposerRegistry.configuration_key` collapses anything else to
+#: its type name, and the serving layer (:mod:`repro.service`) refuses to
+#: dedup/memoize requests carrying such values — both decisions must use
+#: the same list, so it lives here.
+PRIMITIVE_OPTION_TYPES = (str, int, float, bool, tuple, frozenset, type(None))
 
 
 @dataclass
@@ -183,9 +200,7 @@ class DecomposerRegistry:
                 (
                     key,
                     value
-                    if isinstance(
-                        value, (str, int, float, bool, tuple, frozenset, type(None))
-                    )
+                    if isinstance(value, PRIMITIVE_OPTION_TYPES)
                     else type(value).__name__,
                 )
                 for key, value in merged.items()

@@ -32,11 +32,12 @@ evaluation cheap: repeated queries touch only per-query bag state.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from itertools import compress
 
 from ..exceptions import QueryError
-from ..lru import BoundedLRU
+from ..lru import ShardedLRU
 from .database import Database
 from .plan import AnswerMode, AtomBinding, JoinOp, ProjectOp, QueryPlan
 from .relation import Relation
@@ -167,12 +168,22 @@ class ColumnStore:
     living on the cached :class:`ColumnarRelation` objects.  Keep one store
     per database and pass it to every execution to amortise the encoding
     across a workload; the executor creates a throwaway store otherwise.
+
+    The store may be shared by concurrent executions (the serving layer runs
+    many queries against one database at once): the value dictionary is
+    guarded by a lock on the interning slow path — without it two racing
+    :meth:`encode` calls could hand out *different* codes for one value,
+    breaking the code-equality-is-value-equality invariant — and the bag
+    cache is a lock-striped :class:`~repro.lru.ShardedLRU`.  Atom tables may
+    rarely be built twice under a race; both builds are equivalent and the
+    last one wins, so that duplication costs time, never answers.
     """
 
     def __init__(self, database: Database) -> None:
         self.database = database
         self._codes: dict[object, int] = {}
         self._values: list[object] = []
+        self._encode_lock = threading.Lock()
         #: (relation, repeat pattern) → encoded columns; shared across atoms
         #: that bind the same relation with the same repeat structure.
         self._atom_columns: dict[tuple, tuple[list[int], ...]] = {}
@@ -183,18 +194,26 @@ class ColumnStore:
         #: only on that signature and the database content, so across a
         #: workload of repeated query shapes the bag join work — and the
         #: key indexes living on the cached tables — is paid once.
-        self._bag_tables: BoundedLRU = BoundedLRU(512)
+        self._bag_tables: ShardedLRU = ShardedLRU(512)
 
     # ------------------------------------------------------------------ #
     # encoding
     # ------------------------------------------------------------------ #
     def encode(self, value: object) -> int:
-        """Intern ``value`` and return its integer code."""
+        """Intern ``value`` and return its integer code (thread-safe).
+
+        The fast path is a plain dict probe; the interning slow path is
+        locked and re-checks, and appends the value *before* publishing the
+        code so any thread that observes a code can decode it.
+        """
         code = self._codes.get(value)
         if code is None:
-            code = len(self._values)
-            self._codes[value] = code
-            self._values.append(value)
+            with self._encode_lock:
+                code = self._codes.get(value)
+                if code is None:
+                    code = len(self._values)
+                    self._values.append(value)
+                    self._codes[value] = code
         return code
 
     def decode(self, code: int) -> object:

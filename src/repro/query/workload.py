@@ -17,10 +17,25 @@ owns
 
 :class:`QueryWorkload` batches queries against one database and reports
 aggregate timings plus cache traffic — the serving loop in miniature.
+
+Example (doctest-verified):
+
+    >>> from repro import DecompositionEngine
+    >>> from repro.hypergraph.cq import parse_conjunctive_query
+    >>> from repro.query import QueryEngine, QueryWorkload, random_database_for_query
+    >>> query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    >>> database = random_database_for_query(query, seed=1)
+    >>> engine = QueryEngine(engine=DecompositionEngine())
+    >>> engine.execute(query, database).width   # an acyclic chain: width 1
+    1
+    >>> report = QueryWorkload(database, engine=engine).extend([query] * 3).run()
+    >>> (report.queries_run, report.plan_cache_hits)
+    (3, 3)
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -162,8 +177,21 @@ class QueryEngine:
         self._stores: "weakref.WeakKeyDictionary[Database, ColumnStore]" = (
             weakref.WeakKeyDictionary()
         )
+        self._stores_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+
+    @property
+    def configuration(self) -> tuple:
+        """The resolved algorithm-configuration key of this engine.
+
+        Computed through
+        :meth:`repro.pipeline.registry.DecomposerRegistry.configuration_key`,
+        so aliases and defaulted options collapse to one identity; the plan
+        cache and the serving layer's dedup table key on it.
+        """
+        return self._configuration
 
     # ------------------------------------------------------------------ #
     # caches
@@ -177,12 +205,18 @@ class QueryEngine:
         )
 
     def store_for(self, database: Database) -> ColumnStore:
-        """The persistent column store of ``database`` (created on demand)."""
-        store = self._stores.get(database)
-        if store is None:
-            store = ColumnStore(database)
-            self._stores[database] = store
-        return store
+        """The persistent column store of ``database`` (created on demand).
+
+        Guarded by a lock so concurrent executions against a new database
+        agree on one store — two stores for one database would intern the
+        same values under different codes and waste every shared index.
+        """
+        with self._stores_lock:
+            store = self._stores.get(database)
+            if store is None:
+                store = ColumnStore(database)
+                self._stores[database] = store
+            return store
 
     # ------------------------------------------------------------------ #
     # planning
@@ -196,9 +230,11 @@ class QueryEngine:
         cache = self._plan_cache()
         planned = cache.get(key)
         if planned is not None:
-            self.plan_cache_hits += 1
+            with self._counter_lock:  # += is a non-atomic read-modify-write
+                self.plan_cache_hits += 1
             return planned, True
-        self.plan_cache_misses += 1
+        with self._counter_lock:
+            self.plan_cache_misses += 1
 
         start = time.monotonic()
         width, decomposition = hypertree_width(

@@ -1,0 +1,188 @@
+"""Command-line smoke driver for the concurrent serving layer.
+
+Usage::
+
+    python -m repro.serve --selftest [--workers 4] [--clients 8] [--json]
+
+``--selftest`` hammers a fresh :class:`~repro.service.DecompositionService`
+from several client threads with a duplicate-heavy mix of decomposition and
+query requests, then verifies the serving invariants end to end:
+
+* every decomposition answer matches the known width of its instance, and
+  every produced certificate passes the independent ``validate_hd`` oracle;
+* coalescing happened (in-flight dedup counter > 0) and the expensive
+  search ran at most once per distinct request key;
+* the three query answer modes agree with each other;
+* the pool shuts down cleanly (no deadlock, bounded join).
+
+Exit status 0 means every check passed.  ``--json`` prints the final
+:meth:`~repro.service.DecompositionService.stats` snapshot as JSON for
+scripting; the default output is a human-readable summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from collections.abc import Sequence
+
+from .decomp.validation import validate_hd
+from .hypergraph import generators
+from .hypergraph.cq import parse_conjunctive_query
+from .pipeline.engine import DecompositionEngine
+from .query.database import random_database_for_query
+from .service import DecompositionService
+
+__all__ = ["main", "run_selftest"]
+
+#: (instance factory, k, expected decision) — widths are pinned by the
+#: tier-1 known-width tests, so a wrong answer here is a serving bug.
+SELFTEST_INSTANCES = (
+    (lambda: generators.cycle(6), 2, True),
+    (lambda: generators.cycle(10), 2, True),
+    (lambda: generators.grid(2, 3), 2, True),
+    (lambda: generators.clique(5), 3, True),
+    (lambda: generators.cycle(8), 1, False),
+)
+
+SELFTEST_QUERY = "ans(x, z) :- r(x,y), s(y,z), t(z,x)."
+
+
+def run_selftest(workers: int = 4, clients: int = 8, repeats: int = 3) -> tuple[bool, str, dict]:
+    """Run the concurrent smoke scenario; returns (ok, report text, stats dict)."""
+    instances = [(factory(), k, expect) for factory, k, expect in SELFTEST_INSTANCES]
+    query = parse_conjunctive_query(SELFTEST_QUERY, name="selftest")
+    database = random_database_for_query(query, domain_size=8, tuples_per_relation=40)
+
+    failures: list[str] = []
+    service = DecompositionService(num_workers=workers, engine=DecompositionEngine())
+    barrier = threading.Barrier(clients)
+
+    def client(client_id: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(repeats):
+                tickets = [
+                    (service.submit(hypergraph, k), expect)
+                    for hypergraph, k, expect in instances
+                ]
+                query_tickets = [
+                    service.submit_query(query, database, mode)
+                    for mode in ("boolean", "count", "enumerate")
+                ]
+                for ticket, expect in tickets:
+                    result = ticket.result(timeout=60)
+                    if result.timed_out or result.success != expect:
+                        failures.append(
+                            f"client {client_id}: wrong answer for "
+                            f"{result.hypergraph.name or result.hypergraph!r} "
+                            f"k={result.width_parameter}"
+                        )
+                    elif result.success:
+                        validate_hd(result.decomposition)
+                boolean, count_, enum = [t.result(timeout=60) for t in query_tickets]
+                if boolean.boolean != (enum.count > 0) or count_.count != enum.count:
+                    failures.append(f"client {client_id}: query answer modes disagree")
+        except Exception as exc:  # noqa: BLE001 - surfaced in the report
+            failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+
+    # daemon=True: if a regression deadlocks a ticket (the very bug this
+    # selftest exists to catch) the process must still exit 1 instead of
+    # hanging in interpreter shutdown on a stuck non-daemon thread.
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        if thread.is_alive():
+            failures.append("client thread did not finish (possible deadlock)")
+    # Only wait for the pool on a clean run: with a failure detected the
+    # workers may be wedged, and a bounded exit with rc=1 (all threads are
+    # daemons) beats hanging the CI job on an unbounded join.
+    service.shutdown(wait=not failures, cancel_pending=bool(failures))
+
+    stats = service.stats()
+    unique_decompositions = len(instances)
+    total = clients * repeats * (len(instances) + 3)
+    if stats.completed != total:
+        failures.append(f"completed {stats.completed} of {total} requests")
+    if stats.coalesced + stats.fast_path_hits == 0:
+        failures.append("no request was coalesced or served from the memo")
+    # Decomposition results are memoized, so across the whole run each
+    # distinct (instance, k) key must have been computed exactly once.
+    # Query results are only deduplicated while in flight (they are not
+    # memoized), so their computation count is merely bounded by the
+    # submission count.
+    decompose_runs = stats.computations_by_kind.get("decompose", 0)
+    if decompose_runs > unique_decompositions:
+        failures.append(
+            f"{decompose_runs} decomposition computations for "
+            f"{unique_decompositions} distinct keys (exactly-once violated)"
+        )
+
+    ok = not failures
+    lines = [
+        f"serve selftest: {clients} clients x {repeats} rounds over "
+        f"{len(instances)} instances + 3 query modes ({workers} workers)",
+        f"  requests submitted : {stats.submitted}",
+        f"  completed          : {stats.completed}",
+        f"  computations       : {stats.computations} "
+        f"({decompose_runs} decompositions for {unique_decompositions} distinct keys)",
+        f"  coalesced in-flight: {stats.coalesced}",
+        f"  memo fast-path hits: {stats.fast_path_hits}",
+        f"  latency p50 / p95  : {stats.latency_p50 * 1000:.2f} / "
+        f"{stats.latency_p95 * 1000:.2f} ms",
+        f"  engine cache hit % : {stats.engine_cache.hit_rate * 100:.0f}%",
+    ]
+    lines += [f"  FAIL: {failure}" for failure in failures]
+    lines.append("  result: " + ("OK" if ok else "FAILED"))
+    snapshot = stats.as_dict()
+    snapshot["selftest_ok"] = ok
+    snapshot["failures"] = list(failures)
+    return ok, "\n".join(lines), snapshot
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Smoke-test the concurrent decomposition service.",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the concurrent serving smoke scenario and verify its invariants",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="service worker threads")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent client threads")
+    parser.add_argument("--repeats", type=int, default=3, help="rounds per client")
+    parser.add_argument(
+        "--json", action="store_true", help="print the stats snapshot as JSON"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if not args.selftest:
+        parser.print_help()
+        return 2
+    ok, report, stats = run_selftest(
+        workers=args.workers, clients=args.clients, repeats=args.repeats
+    )
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        if not ok:
+            print(report, file=sys.stderr)
+    else:
+        print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,656 @@
+"""A thread-safe serving layer over the decomposition pipeline and query engine.
+
+:class:`DecompositionService` multiplexes many concurrent callers onto one
+:class:`~repro.pipeline.engine.DecompositionEngine` and one
+:class:`~repro.query.workload.QueryEngine`.  Three mechanisms turn the
+single-caller library into something that can sit behind traffic:
+
+* **Sharded caches** — the engine result cache, the compiled-plan cache and
+  the per-database column stores are lock-striped
+  (:class:`~repro.lru.ShardedLRU`), so concurrent cache hits on different
+  keys never serialise on a global lock.  The service adds its own sharded
+  memo of completed results for a submit-time fast path that bypasses the
+  queue entirely.
+* **In-flight deduplication** — concurrent requests for the same
+  ``(canonical hash, k, algorithm configuration)`` coalesce onto one
+  computation: followers attach a ticket to the in-flight task and all
+  tickets are released together when it completes.  Under duplicate-heavy
+  traffic the expensive search runs exactly once per distinct key.
+* **Batched priority scheduling** — requests drain through a bounded worker
+  pool from a priority queue; interactive answers (boolean / count queries)
+  are served ahead of full enumeration, with FIFO order within a priority
+  class.
+
+Per-request timeouts ride on the engine's deadline machinery, and
+cancellation reuses the cancellation-event plumbing of
+:mod:`repro.core.parallel`: cancelling the last ticket of a task sets its
+event and the running search aborts at its next periodic check.
+
+Example::
+
+    >>> from repro.hypergraph import generators
+    >>> from repro.service import DecompositionService
+    >>> with DecompositionService(num_workers=2) as service:
+    ...     ticket = service.submit(generators.cycle(6), 2)
+    ...     result = ticket.result()
+    >>> result.success
+    True
+    >>> service.stats().completed
+    1
+"""
+
+from __future__ import annotations
+
+import queue as pyqueue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..core.base import DecompositionResult
+from ..exceptions import ServiceError, SolverError, TimeoutExceeded
+from ..hypergraph import Hypergraph
+from ..lru import ShardStats, ShardedLRU
+from ..pipeline.engine import DecompositionEngine, default_engine
+from ..pipeline.registry import PRIMITIVE_OPTION_TYPES, registry
+from ..query.plan import AnswerMode
+from ..query.workload import QueryEngine, QueryResult, query_signature
+
+__all__ = [
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_BULK",
+    "ServiceStats",
+    "ServiceTicket",
+    "DecompositionService",
+]
+
+#: Scheduling classes: lower value drains first.  Boolean/count queries are
+#: interactive (a client is waiting on a yes/no or a number), decomposition
+#: decisions sit in the middle, full enumeration is bulk work.
+PRIORITY_INTERACTIVE = 0
+PRIORITY_NORMAL = 1
+PRIORITY_BULK = 2
+
+_SHUTDOWN_PRIORITY = 1 << 30
+
+
+class _Task:
+    """One scheduled computation; possibly shared by many coalesced tickets."""
+
+    __slots__ = (
+        "key",
+        "priority",
+        "run",
+        "memoize",
+        "tickets",
+        "done",
+        "cancel_event",
+        "cancelled",
+        "started",
+        "result",
+        "error",
+    )
+
+    def __init__(self, key: tuple, priority: int, run, memoize: bool) -> None:
+        self.key = key
+        self.priority = priority
+        self.run = run
+        self.memoize = memoize
+        self.tickets: list[ServiceTicket] = []
+        self.done = threading.Event()
+        self.cancel_event = threading.Event()
+        self.cancelled = False
+        self.started = False
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class ServiceTicket:
+    """A future-like handle on one submitted request.
+
+    Tickets attached to the same in-flight computation share its outcome;
+    :meth:`result` blocks until the computation finishes (or the wait
+    times out), :meth:`cancel` detaches this ticket — the underlying
+    computation is only aborted once *every* attached ticket has cancelled,
+    so one impatient caller never tears down work others still wait on.
+    """
+
+    __slots__ = ("_service", "_task", "submitted_at", "cancelled")
+
+    def __init__(self, service: "DecompositionService", task: _Task, submitted_at: float) -> None:
+        self._service = service
+        self._task = task
+        self.submitted_at = submitted_at
+        self.cancelled = False
+
+    @property
+    def key(self) -> tuple:
+        """The deduplication key this request was scheduled under."""
+        return self._task.key
+
+    def done(self) -> bool:
+        """Whether the outcome is available (never blocks)."""
+        return self._task.done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The request's outcome, waiting up to ``timeout`` seconds for it.
+
+        Raises :class:`~repro.exceptions.TimeoutExceeded` if the wait (not
+        the computation) times out, :class:`~repro.exceptions.ServiceError`
+        if this ticket was cancelled, and re-raises the worker's exception
+        if the computation itself failed.  Like
+        :meth:`concurrent.futures.Future.result`, coalesced tickets
+        re-raise the *same* exception instance — don't mutate it (e.g. via
+        ``add_note``) if other waiters may still observe it.
+        """
+        if self.cancelled:
+            raise ServiceError("request was cancelled")
+        if not self._task.done.wait(timeout):
+            raise TimeoutExceeded("timed out waiting for the service result")
+        if self.cancelled:
+            # Cancelled by another thread while we were blocked waiting; a
+            # cancelled-and-skipped task finalizes with result=None, so
+            # returning would hand the caller nothing instead of the
+            # documented error.
+            raise ServiceError("request was cancelled")
+        if self._task.error is not None:
+            raise self._task.error
+        return self._task.result
+
+    def cancel(self) -> bool:
+        """Detach from the computation; returns False if already finished.
+
+        The computation's cancellation event is only set once no attached
+        ticket remains, which aborts a queued task before it runs and an
+        in-flight *decomposition* search at its next periodic deadline
+        check.  A query task that is already executing runs to completion
+        (the planner/executor do not poll the event); its outcome is simply
+        discarded for this ticket.
+        """
+        return self._service._cancel_ticket(self)
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    index = min(len(samples) - 1, int(fraction * (len(samples) - 1) + 0.5))
+    return samples[index]
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of the service's serving behaviour."""
+
+    submitted: int = 0
+    completed: int = 0
+    computations: int = 0
+    computations_by_kind: dict = field(default_factory=dict)
+    coalesced: int = 0
+    fast_path_hits: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    queue_depth: int = 0
+    inflight: int = 0
+    workers: int = 0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    result_memo: ShardStats = field(default_factory=ShardStats)
+    engine_cache: ShardStats = field(default_factory=ShardStats)
+    engine_cache_shards: list[ShardStats] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly rendering (used by ``python -m repro.serve``)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "computations": self.computations,
+            "computations_by_kind": dict(self.computations_by_kind),
+            "coalesced": self.coalesced,
+            "fast_path_hits": self.fast_path_hits,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "workers": self.workers,
+            "latency_p50_ms": self.latency_p50 * 1000.0,
+            "latency_p95_ms": self.latency_p95 * 1000.0,
+            "result_memo_hit_rate": self.result_memo.hit_rate,
+            "engine_cache_hit_rate": self.engine_cache.hit_rate,
+            "engine_cache_shards": [
+                {"hits": s.hits, "misses": s.misses, "hit_rate": s.hit_rate}
+                for s in self.engine_cache_shards
+            ],
+        }
+
+
+class DecompositionService:
+    """Concurrent facade over the decomposition pipeline and query engine.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the worker pool draining the request queue.
+    engine:
+        The shared :class:`~repro.pipeline.engine.DecompositionEngine`;
+        defaults to the process-wide engine, so results are shared with
+        direct library callers.
+    algorithm / algorithm_options:
+        Default registry algorithm (and options) for decomposition requests;
+        both can be overridden per :meth:`submit`.  A ``timeout`` option
+        here becomes the default per-request computation timeout.
+    query_engine:
+        An explicit :class:`~repro.query.workload.QueryEngine` for query
+        requests; by default one is built lazily over ``engine``.
+    result_memo_entries:
+        Capacity of the service's sharded completed-result memo (the
+        submit-time fast path).
+    latency_window:
+        Number of most recent request latencies kept for the p50/p95
+        snapshot.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        engine: DecompositionEngine | None = None,
+        algorithm: str = "hybrid",
+        query_engine: QueryEngine | None = None,
+        result_memo_entries: int = 4096,
+        latency_window: int = 2048,
+        **algorithm_options,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError("num_workers must be >= 1")
+        self.engine = engine if engine is not None else default_engine()
+        self.algorithm = algorithm
+        # timeout is handled as an explicit parameter everywhere downstream
+        # (submit, configuration_key, registry.build, QueryEngine); leaving
+        # it inside algorithm_options would collide with those keywords.
+        self.default_timeout = algorithm_options.pop("timeout", None)
+        self.algorithm_options = dict(algorithm_options)
+        self.num_workers = num_workers
+
+        self._queue: pyqueue.PriorityQueue = pyqueue.PriorityQueue()
+        self._seq = count()
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, _Task] = {}
+        self._results = ShardedLRU(result_memo_entries)
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._closed = False
+
+        self._submitted = 0
+        self._completed = 0
+        self._computations = 0
+        self._computations_by_kind: dict[str, int] = {}
+        self._coalesced = 0
+        self._fast_path_hits = 0
+        self._failed = 0
+        self._cancelled = 0
+
+        self._query_engine = query_engine
+        self._query_engine_lock = threading.Lock()
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"repro-service-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        *,
+        algorithm: str | None = None,
+        timeout: float | None = None,
+        priority: int | None = None,
+        **options,
+    ) -> ServiceTicket:
+        """Schedule ``decompose(hypergraph, k)`` and return a ticket.
+
+        ``timeout`` bounds the *computation* (enforced by the engine's
+        deadline machinery; a timed-out request completes with
+        ``result.timed_out``), not the caller's wait.  Requests for the
+        same ``(canonical hash, k, configuration)`` key are deduplicated:
+        already-completed keys return an immediately-done ticket from the
+        sharded result memo, in-flight keys coalesce onto the running
+        computation.
+
+        Coalesced and memo-served callers share one
+        :class:`~repro.core.base.DecompositionResult` object (hosted on the
+        hypergraph of the request that computed it — by construction an
+        edge-for-edge equal instance); treat it as read-only, as concurrent
+        callers do.  Requests carrying non-primitive option values (e.g. a
+        metric *instance*) are never shared: their configuration identity
+        cannot be compared safely, so they bypass dedup and memoization.
+        """
+        if hypergraph.num_edges == 0:
+            raise SolverError("cannot decompose a hypergraph without edges")
+        name = algorithm if algorithm is not None else self.algorithm
+        # Service-level options are tailored to the service's default
+        # algorithm; a per-request override of a *different* algorithm must
+        # not inherit them (it may not accept those keywords at all).
+        if registry.resolve(name) == registry.resolve(self.algorithm):
+            merged = {**self.algorithm_options, **options}
+        else:
+            merged = dict(options)
+        # A timeout inside **options would collide with the explicit
+        # keyword below; fold it into the timeout parameter instead.
+        # Precedence: explicit argument > per-request option > service default.
+        if timeout is None:
+            timeout = merged.pop("timeout", None)
+        else:
+            merged.pop("timeout", None)
+        if timeout is None:
+            timeout = self.default_timeout
+        configuration = registry.configuration_key(name, timeout=timeout, **merged)
+        key = ("decompose", hypergraph.canonical_hash(), k, configuration)
+        memoize = True
+        if not all(
+            isinstance(value, PRIMITIVE_OPTION_TYPES) for value in merged.values()
+        ):
+            # configuration_key collapses object-valued options (e.g. a
+            # hybrid metric instance) to their type name, so two requests
+            # with differently-parameterized objects of one class would
+            # collide.  Make such requests unique instead of risking a
+            # wrong shared result: no cross-request dedup or memoization.
+            key = key + ("unshared", next(self._seq))
+            memoize = False
+        submitted_at = time.monotonic()
+
+        def run(cancel_event):
+            decomposer = registry.build(name, timeout=timeout, **merged)
+            return self.engine.decompose(decomposer, hypergraph, k, cancel_event=cancel_event)
+
+        return self._admit(
+            key,
+            run,
+            submitted_at,
+            memoize=memoize,
+            priority=PRIORITY_NORMAL if priority is None else priority,
+        )
+
+    def submit_query(
+        self,
+        query,
+        database,
+        mode: AnswerMode | str = AnswerMode.ENUMERATE,
+        *,
+        priority: int | None = None,
+    ) -> ServiceTicket:
+        """Schedule a conjunctive query; the ticket resolves to a
+        :class:`~repro.query.workload.QueryResult`.
+
+        Boolean and count queries are scheduled at interactive priority,
+        ahead of full enumeration.  Identical concurrent (query shape,
+        mode, database) requests coalesce; completed query results are not
+        memoized by the service — the plan cache and the database's column
+        store already make repeats cheap, and the memo would have to pin
+        the database alive.  Cancellation of a query ticket before the
+        task starts removes it from the queue; once executing, the query
+        runs to completion (only decomposition searches poll the
+        cancellation event).
+        """
+        mode = AnswerMode.coerce(mode)
+        query_engine = self._resolve_query_engine()
+        if priority is None:
+            priority = (
+                PRIORITY_BULK if mode is AnswerMode.ENUMERATE else PRIORITY_INTERACTIVE
+            )
+        # id(database) is safe here because the key is only used for
+        # *in-flight* dedup: the task references the database, so its id
+        # cannot be recycled while the key is live.
+        key = (
+            "query",
+            query_signature(query),
+            mode.value,
+            query_engine.configuration,
+            id(database),
+        )
+        submitted_at = time.monotonic()
+
+        def run(_cancel_event) -> QueryResult:
+            return query_engine.execute(query, database, mode)
+
+        return self._admit(key, run, submitted_at, memoize=False, priority=priority)
+
+    def map(self, hypergraphs, k: int, **options) -> list[DecompositionResult]:
+        """Submit many decomposition requests and gather results in order."""
+        tickets = [self.submit(h, k, **options) for h in hypergraphs]
+        return [ticket.result() for ticket in tickets]
+
+    def _admit(
+        self,
+        key: tuple,
+        run,
+        submitted_at: float,
+        *,
+        memoize: bool,
+        priority: int,
+    ) -> ServiceTicket:
+        if not isinstance(priority, int) or priority >= _SHUTDOWN_PRIORITY:
+            # A priority sorting behind the shutdown sentinels would make
+            # the task undrainable and its tickets unresolvable.
+            raise ServiceError(f"priority out of range: {priority!r}")
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is shut down")
+            self._submitted += 1
+            task = self._inflight.get(key)
+            if task is not None and not task.cancelled:
+                ticket = ServiceTicket(self, task, submitted_at)
+                task.tickets.append(ticket)
+                self._coalesced += 1
+                if priority < task.priority and not task.started:
+                    # A more urgent caller joined a queued task: escalate by
+                    # re-enqueueing at the stronger priority.  The stale
+                    # queue entry is skipped when dequeued (_execute ignores
+                    # tasks that already started or finished).
+                    task.priority = priority
+                    self._queue.put((priority, next(self._seq), task))
+                return ticket
+            if memoize:
+                # Probe the completed-result memo under the lock.  Workers
+                # memoize BEFORE dropping the in-flight entry, so a key is
+                # always either in flight, memoized, or genuinely new —
+                # there is no window in which a decided key gets recomputed.
+                cached = self._results.get(key)
+                if cached is not None:
+                    self._fast_path_hits += 1
+                    self._completed += 1
+                    self._latencies.append(time.monotonic() - submitted_at)
+                    done_task = _Task(key, priority, run=None, memoize=False)
+                    done_task.result = cached
+                    done_task.done.set()
+                    return ServiceTicket(self, done_task, submitted_at)
+            task = _Task(key, priority, run, memoize)
+            ticket = ServiceTicket(self, task, submitted_at)
+            task.tickets.append(ticket)
+            self._inflight[key] = task
+            self._queue.put((priority, next(self._seq), task))
+            return ticket
+
+    # ------------------------------------------------------------------ #
+    # worker pool
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            _priority, _seq, task = self._queue.get()
+            if task is None:
+                return
+            self._execute(task)
+
+    def _execute(self, task: _Task) -> None:
+        with self._lock:
+            if task.started or task.done.is_set():
+                return  # stale queue entry from a priority escalation
+            if task.cancelled:
+                self._finalize_locked(task, None, None)
+                return
+            task.started = True
+            self._computations += 1
+            kind = task.key[0]
+            self._computations_by_kind[kind] = self._computations_by_kind.get(kind, 0) + 1
+        try:
+            result = task.run(task.cancel_event)
+            error = None
+        except BaseException as exc:  # surfaced through the tickets
+            result, error = None, exc
+        # Memoize BEFORE the task leaves the in-flight table: a concurrent
+        # submit that misses the in-flight entry re-probes the memo under
+        # the service lock, so there is no window in which a duplicate
+        # computation can be scheduled for a decided key.
+        if (
+            task.memoize
+            and error is None
+            and result is not None
+            and not task.cancelled
+            and not getattr(result, "timed_out", False)
+        ):
+            self._results.put(task.key, result)
+        with self._lock:
+            self._finalize_locked(task, result, error)
+
+    def _finalize_locked(self, task: _Task, result, error) -> None:
+        """Publish a task outcome; the caller holds ``self._lock``."""
+        now = time.monotonic()
+        # Conditional pop: a cancelled task may already have been replaced
+        # by a fresh computation under the same key.
+        if self._inflight.get(task.key) is task:
+            del self._inflight[task.key]
+        task.result = result
+        task.error = error
+        # Counters are per *ticket* (request), so that eventually
+        # submitted == completed + failed + cancelled holds; individually
+        # cancelled tickets were already counted by _cancel_ticket.
+        if task.cancelled:
+            self._cancelled += len(task.tickets)
+        elif error is not None:
+            self._failed += len(task.tickets)
+            for ticket in task.tickets:
+                self._latencies.append(now - ticket.submitted_at)
+        else:
+            self._completed += len(task.tickets)
+            for ticket in task.tickets:
+                self._latencies.append(now - ticket.submitted_at)
+        task.done.set()
+
+    def _cancel_ticket(self, ticket: ServiceTicket) -> bool:
+        task = ticket._task
+        with self._lock:
+            if task.done.is_set():
+                return False
+            ticket.cancelled = True
+            if ticket in task.tickets:
+                task.tickets.remove(ticket)
+                self._cancelled += 1
+            if not task.tickets:
+                task.cancelled = True
+                task.cancel_event.set()
+            return True
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def _resolve_query_engine(self) -> QueryEngine:
+        with self._query_engine_lock:
+            if self._query_engine is None:
+                self._query_engine = QueryEngine(
+                    algorithm=self.algorithm,
+                    engine=self.engine,
+                    timeout=self.default_timeout,
+                    **self.algorithm_options,
+                )
+            return self._query_engine
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of counters, cache traffic and latency."""
+        with self._lock:
+            # Only copy under the lock; the O(n log n) percentile sort runs
+            # outside so high-frequency monitoring polls never stall
+            # submits or worker finalization.
+            samples = list(self._latencies)
+            stats = ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                computations=self._computations,
+                computations_by_kind=dict(self._computations_by_kind),
+                coalesced=self._coalesced,
+                fast_path_hits=self._fast_path_hits,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                queue_depth=self._queue.qsize(),
+                inflight=len(self._inflight),
+                workers=len(self._workers),
+            )
+        samples.sort()
+        stats.latency_p50 = _percentile(samples, 0.50)
+        stats.latency_p95 = _percentile(samples, 0.95)
+        stats.result_memo = self._results.stats()
+        cache = self.engine.cache
+        if cache is not None:
+            stats.engine_cache_shards = cache.shard_statistics()
+            for shard in stats.engine_cache_shards:
+                stats.engine_cache.merge(shard)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting requests and wind the worker pool down.
+
+        With ``wait=True`` (default) the queue drains first and every
+        outstanding ticket resolves.  ``cancel_pending=True`` instead fails
+        queued-but-unstarted requests with :class:`ServiceError` and asks
+        running searches to abort via their cancellation events.
+
+        Idempotent: only the first call closes, drains and posts the worker
+        sentinels, but *every* call with ``wait=True`` joins the workers —
+        so ``shutdown(wait=False)`` followed by ``shutdown(wait=True)``
+        (e.g. the implicit one from ``with``) still blocks until the pool
+        has wound down.
+        """
+        with self._lock:
+            first = not self._closed
+            self._closed = True
+        if first and cancel_pending:
+            while True:
+                try:
+                    _priority, _seq, task = self._queue.get_nowait()
+                except pyqueue.Empty:
+                    break
+                if task is None:
+                    continue
+                with self._lock:
+                    # Skip stale entries left behind by priority escalation
+                    # (same guard as _execute): a started task is the
+                    # running worker's to finalize, a done one already was.
+                    if task.started or task.done.is_set():
+                        continue
+                    task.cancelled = True
+                    task.cancel_event.set()
+                    self._finalize_locked(
+                        task, None, ServiceError("service shut down before the request ran")
+                    )
+            with self._lock:
+                for task in list(self._inflight.values()):
+                    task.cancel_event.set()
+        if first:
+            for _ in self._workers:
+                self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "DecompositionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)

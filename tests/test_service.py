@@ -1,0 +1,481 @@
+"""Tests for the concurrent serving layer (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.base import Decomposer, SearchContext
+from repro.decomp import validate_hd
+from repro.exceptions import ServiceError, TimeoutExceeded
+from repro.hypergraph import generators
+from repro.hypergraph.cq import parse_conjunctive_query
+from repro.pipeline.engine import DecompositionEngine
+from repro.pipeline.registry import registry
+from repro.query import evaluate_query, random_database_for_query
+from repro.service import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    DecompositionService,
+)
+
+
+@pytest.fixture
+def service():
+    svc = DecompositionService(num_workers=4, engine=DecompositionEngine())
+    yield svc
+    svc.shutdown(wait=True, cancel_pending=True)
+
+
+class _BlockingDecomposer(Decomposer):
+    """Test double: blocks on a gate, honouring cancellation, then succeeds."""
+
+    name = "blocking-test"
+
+    def __init__(self, gate, log, timeout=None, tag="", **engine_options):
+        super().__init__(timeout=timeout, **engine_options)
+        self.gate = gate
+        self.log = log
+        self.tag = tag
+
+    def _run(self, context: SearchContext):
+        while not self.gate.wait(0.005):
+            context.force_timeout_check()  # raises on cancel or deadline
+        self.log.append(self.tag)
+        from repro.core.detk import DetKDecomposer
+
+        return DetKDecomposer(use_engine=False).decompose_raw(
+            context.host, context.k
+        ).decomposition
+
+
+@pytest.fixture
+def blocking_algorithm():
+    """Registers the blocking decomposer; yields (gate, completion log)."""
+    gate = threading.Event()
+    log: list[str] = []
+    registry.register(
+        "blocking-test",
+        factory=lambda **options: _BlockingDecomposer(gate, log, **options),
+    )
+    try:
+        yield gate, log
+    finally:
+        gate.set()
+        registry.unregister("blocking-test")
+
+
+# --------------------------------------------------------------------------- #
+# basic serving behaviour
+# --------------------------------------------------------------------------- #
+def test_submit_returns_valid_decomposition(service, cycle10):
+    result = service.submit(cycle10, 2).result(timeout=30)
+    assert result.success
+    assert result.decomposition.hypergraph is cycle10
+    validate_hd(result.decomposition)
+
+
+def test_negative_answer_served(service, cycle10):
+    assert service.submit(cycle10, 1).result(timeout=30).success is False
+
+
+def test_map_preserves_order(service):
+    instances = [generators.cycle(n) for n in (4, 6, 8, 10)]
+    results = service.map(instances, 2)
+    assert [r.hypergraph for r in results] == instances
+    assert all(r.success for r in results)
+
+
+def test_repeat_submission_hits_fast_path(service, cycle10):
+    first = service.submit(cycle10, 2)
+    first.result(timeout=30)
+    second = service.submit(cycle10, 2)
+    assert second.done()  # served from the completed-result memo at submit
+    assert second.result().success
+    stats = service.stats()
+    assert stats.fast_path_hits >= 1
+    assert stats.computations_by_kind.get("decompose") == 1
+
+
+def test_object_valued_options_are_never_shared(service, cycle10):
+    # configuration_key collapses object values to their type name, so two
+    # differently-parameterized metric instances would collide; the service
+    # must bypass dedup/memoization for such requests.
+    from repro.core.hybrid import EdgeCountMetric
+
+    first = service.submit(cycle10, 2, algorithm="hybrid", metric=EdgeCountMetric())
+    second = service.submit(cycle10, 2, algorithm="hybrid", metric=EdgeCountMetric())
+    assert first.result(timeout=30).success and second.result(timeout=30).success
+    stats = service.stats()
+    assert stats.computations_by_kind["decompose"] == 2  # no sharing
+    assert stats.coalesced == 0 and stats.fast_path_hits == 0
+
+
+def test_submit_query_modes_agree(service):
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z), t(z,x).")
+    database = random_database_for_query(query, domain_size=6, tuples_per_relation=30)
+    enum = service.submit_query(query, database, "enumerate").result(timeout=30)
+    boolean = service.submit_query(query, database, "boolean").result(timeout=30)
+    count = service.submit_query(query, database, "count").result(timeout=30)
+    reference = evaluate_query(query, database, executor="eager")
+    assert enum.answers.as_dicts() == reference.answers.as_dicts()
+    assert count.count == len(reference.answers)
+    assert boolean.boolean == (len(reference.answers) > 0)
+
+
+def test_query_priorities_by_mode(service):
+    query = parse_conjunctive_query("ans(x) :- r(x,y), s(y,x).")
+    database = random_database_for_query(query)
+    bulk = service.submit_query(query, database, "enumerate")
+    urgent = service.submit_query(query, database, "boolean")
+    assert bulk._task.priority == PRIORITY_BULK
+    assert urgent._task.priority == PRIORITY_INTERACTIVE
+    bulk.result(timeout=30), urgent.result(timeout=30)
+
+
+def test_submit_after_shutdown_raises(cycle6):
+    svc = DecompositionService(num_workers=1, engine=DecompositionEngine())
+    svc.shutdown(wait=True)
+    with pytest.raises(ServiceError):
+        svc.submit(cycle6, 2)
+
+
+# --------------------------------------------------------------------------- #
+# dedup, scheduling, cancellation, timeouts
+# --------------------------------------------------------------------------- #
+def test_concurrent_duplicates_computed_exactly_once(blocking_algorithm, cycle6):
+    gate, log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=4, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        tickets = [svc.submit(cycle6, 2) for _ in range(12)]
+        assert svc.stats().coalesced == 11
+        gate.set()
+        results = [t.result(timeout=30) for t in tickets]
+        assert len(set(id(r) for r in results)) == 1  # one shared outcome
+        assert results[0].success
+        validate_hd(results[0].decomposition)
+        assert len(log) == 1  # the search ran exactly once
+        assert svc.stats().computations == 1
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_priority_queue_orders_pending_work(blocking_algorithm):
+    gate, log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        blocker = svc.submit(generators.cycle(4), 2, tag="blocker")
+        # Wait until the single worker is busy on the blocker so the next
+        # submissions queue up behind it.
+        deadline = time.monotonic() + 5
+        while svc.stats().computations == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        bulk = svc.submit(generators.cycle(6), 2, priority=PRIORITY_BULK, tag="bulk")
+        urgent = svc.submit(
+            generators.cycle(8), 2, priority=PRIORITY_INTERACTIVE, tag="urgent"
+        )
+        gate.set()
+        for ticket in (blocker, bulk, urgent):
+            assert ticket.result(timeout=30).success
+        assert log == ["blocker", "urgent", "bulk"]
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_coalescing_escalates_priority_of_queued_task(blocking_algorithm):
+    gate, log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        blocker = svc.submit(generators.cycle(4), 2, tag="blocker")
+        deadline = time.monotonic() + 5
+        while svc.stats().computations == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        slow = svc.submit(generators.cycle(6), 2, priority=PRIORITY_BULK, tag="slow")
+        other = svc.submit(generators.cycle(8), 2, priority=PRIORITY_BULK, tag="other")
+        # An interactive caller joins the queued "slow" task: it must be
+        # escalated ahead of "other" instead of inheriting bulk service.
+        joined = svc.submit(
+            generators.cycle(6), 2, priority=PRIORITY_INTERACTIVE, tag="slow"
+        )
+        assert joined._task is slow._task  # coalesced, not a new task
+        gate.set()
+        for ticket in (blocker, slow, other, joined):
+            assert ticket.result(timeout=30).success
+        assert log == ["blocker", "slow", "other"]
+        # The stale queue entry from the escalation must not rerun the task.
+        assert svc.stats().computations == 3
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_cancel_aborts_running_search(blocking_algorithm, cycle6):
+    gate, log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=2, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        ticket = svc.submit(cycle6, 2)
+        deadline = time.monotonic() + 5
+        while svc.stats().computations == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert ticket.cancel() is True
+        with pytest.raises(ServiceError):
+            ticket.result(timeout=30)
+        # The worker must come back without the gate ever opening: the
+        # cancellation event aborted the blocked search.
+        deadline = time.monotonic() + 10
+        while svc.stats().cancelled == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert svc.stats().cancelled == 1
+        assert log == []  # the search never completed
+        # The service keeps serving afterwards (fresh key, real algorithm).
+        result = svc.submit(generators.cycle(6), 2, algorithm="detk").result(timeout=30)
+        assert result.success
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_cancel_while_owner_blocks_in_result_raises(blocking_algorithm, cycle6):
+    # Cancelling from another thread while the owner is blocked in result()
+    # must surface ServiceError, never a bare None.
+    gate, _log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        ticket = svc.submit(cycle6, 2)
+        outcome: list[object] = []
+
+        def owner():
+            try:
+                outcome.append(ticket.result(timeout=30))
+            except ServiceError as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=owner)
+        thread.start()
+        time.sleep(0.05)  # let the owner block on the wait
+        assert ticket.cancel() is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert len(outcome) == 1 and isinstance(outcome[0], ServiceError)
+    finally:
+        gate.set()
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_cancel_of_one_coalesced_ticket_keeps_others_running(
+    blocking_algorithm, cycle6
+):
+    gate, log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=2, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        first = svc.submit(cycle6, 2)
+        second = svc.submit(cycle6, 2)
+        assert first.cancel() is True
+        gate.set()
+        assert second.result(timeout=30).success  # unaffected by the cancel
+        with pytest.raises(ServiceError):
+            first.result()
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_algorithm_override_does_not_inherit_foreign_options(cycle6):
+    # threshold is a hybrid option; overriding the algorithm per request
+    # must not forward it to a decomposer that cannot accept it.
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(), algorithm="hybrid", threshold=0.5
+    )
+    try:
+        assert svc.submit(cycle6, 2).result(timeout=30).success  # hybrid w/ option
+        assert svc.submit(cycle6, 2, algorithm="detk").result(timeout=30).success
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_out_of_range_priority_is_rejected(service, cycle6):
+    # A priority sorting behind the shutdown sentinels would leave the
+    # ticket unresolvable; reject it at submission time.
+    with pytest.raises(ServiceError):
+        service.submit(cycle6, 2, priority=1 << 31)
+    with pytest.raises(ServiceError):
+        service.submit(cycle6, 2, priority="urgent")
+
+
+def test_service_level_timeout_option_is_accepted():
+    # timeout is a natural Decomposer option: passing it at service level
+    # (or inside per-request **options) must become the default request
+    # timeout instead of colliding with the explicit keyword downstream.
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(), timeout=0.05
+    )
+    try:
+        assert svc.default_timeout == 0.05
+        hard = svc.submit(generators.clique(7), 3)  # inherits the default
+        assert hard.result(timeout=30).timed_out
+        easy = svc.submit(generators.cycle(6), 2, timeout=30.0)  # override
+        assert easy.result(timeout=30).success
+        via_options = svc.submit(generators.cycle(8), 2, **{"timeout": 30.0})
+        assert via_options.result(timeout=30).success
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_per_request_timeout_times_out_and_is_not_memoized(service):
+    hard = generators.clique(7)
+    result = service.submit(hard, 3, timeout=0.05).result(timeout=30)
+    assert result.timed_out
+    # Timeouts are never memoized: resubmitting computes again.
+    again = service.submit(hard, 3, timeout=0.05).result(timeout=30)
+    assert again.timed_out
+    assert service.stats().computations_by_kind["decompose"] == 2
+    assert service.stats().fast_path_hits == 0
+
+
+def test_ticket_wait_timeout_raises(blocking_algorithm, cycle6):
+    gate, _log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    try:
+        ticket = svc.submit(cycle6, 2)
+        with pytest.raises(TimeoutExceeded):
+            ticket.result(timeout=0.05)
+        gate.set()
+        assert ticket.result(timeout=30).success  # still resolvable afterwards
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_shutdown_drain_skips_stale_escalation_entries(blocking_algorithm, cycle6):
+    # A priority escalation re-enqueues a queued task, leaving its original
+    # queue entry behind as a stale duplicate; the shutdown drain must
+    # finalize such a task exactly once (a double finalize would count it
+    # as cancelled twice and republish the outcome).
+    gate, _log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    blocker = svc.submit(generators.cycle(4), 2)
+    deadline = time.monotonic() + 5
+    while svc.stats().computations == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    queued = svc.submit(cycle6, 2, priority=PRIORITY_BULK)
+    joined = svc.submit(cycle6, 2, priority=PRIORITY_INTERACTIVE)  # escalates
+    assert joined._task is queued._task
+    # The queue now holds two entries for one task; drain both.
+    svc.shutdown(wait=True, cancel_pending=True)
+    for ticket in (queued, joined):
+        with pytest.raises(ServiceError):
+            ticket.result(timeout=30)
+    stats = svc.stats()
+    # Counters are per ticket: the drained task carried two coalesced
+    # tickets and was finalized exactly once despite the stale entry (a
+    # double finalize would count four).
+    assert stats.cancelled == 2
+    # The running blocker was asked to cancel and resolves as timed out.
+    assert blocker.result(timeout=30).timed_out
+    # Every submitted request is accounted for exactly once.
+    assert stats.submitted == stats.completed + stats.failed + stats.cancelled
+
+
+def test_shutdown_cancel_pending_fails_queued_requests(blocking_algorithm, cycle6):
+    gate, _log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=1, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    running = svc.submit(cycle6, 2)
+    queued = svc.submit(generators.cycle(8), 2)
+    deadline = time.monotonic() + 5
+    while svc.stats().computations == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    svc.shutdown(wait=False, cancel_pending=True)
+    with pytest.raises(ServiceError):
+        queued.result(timeout=30)
+    # The running task was asked to cancel; its ticket resolves either way
+    # (to a timed-out result) instead of deadlocking.
+    outcome = running.result(timeout=30)
+    assert outcome.timed_out
+    for worker in svc._workers:
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+
+def test_shutdown_wait_after_nonwaiting_shutdown_joins_workers(
+    blocking_algorithm, cycle6
+):
+    gate, _log = blocking_algorithm
+    svc = DecompositionService(
+        num_workers=2, engine=DecompositionEngine(cache=False), algorithm="blocking-test"
+    )
+    ticket = svc.submit(cycle6, 2)
+    svc.shutdown(wait=False)
+    gate.set()
+    # A later waiting shutdown (e.g. the implicit one from a with-block)
+    # must still block until the pool has wound down.
+    svc.shutdown(wait=True)
+    for worker in svc._workers:
+        assert not worker.is_alive()
+    assert ticket.result(timeout=30).success
+
+
+def test_engine_accepts_legacy_decompose_raw_override(cycle6):
+    # decompose_raw is an established override point; subclasses with the
+    # pre-cancellation three-parameter signature must keep working through
+    # the engine (the keyword is only passed when a cancel event exists).
+    from repro.core.base import DecompositionResult
+    from repro.core.detk import DetKDecomposer
+
+    class LegacyDecomposer(DetKDecomposer):
+        name = "legacy-signature"
+
+        def decompose_raw(self, hypergraph, k, timeout=None) -> DecompositionResult:
+            return super().decompose_raw(hypergraph, k, timeout=timeout)
+
+    engine = DecompositionEngine(cache=False)
+    result = engine.decompose(LegacyDecomposer(), cycle6, 2)
+    assert result.success
+    validate_hd(result.decomposition)
+
+    # The same override must also survive the serving path, which always
+    # supplies a cancellation event (the engine detects the legacy
+    # signature and withholds the keyword).
+    registry.register("legacy-signature", factory=LegacyDecomposer)
+    try:
+        svc = DecompositionService(
+            num_workers=1, engine=DecompositionEngine(), algorithm="legacy-signature"
+        )
+        try:
+            served = svc.submit(cycle6, 2).result(timeout=30)
+            assert served.success
+            validate_hd(served.decomposition)
+        finally:
+            svc.shutdown(wait=True, cancel_pending=True)
+    finally:
+        registry.unregister("legacy-signature")
+
+
+# --------------------------------------------------------------------------- #
+# the full concurrent stress scenario (>= 8 client threads, mixed workload)
+# --------------------------------------------------------------------------- #
+def test_concurrent_stress_selftest():
+    """The serve selftest is the stress test: 8 clients, duplicate-heavy
+    mixed decomposition + boolean/count/enumerate workload, asserting
+    validated certificates, exactly-once computation for coalesced keys and
+    bounded (deadlock-free) shutdown."""
+    from repro.serve import run_selftest
+
+    ok, report, stats = run_selftest(workers=4, clients=8, repeats=3)
+    assert ok, report
+    assert stats["coalesced"] + stats["fast_path_hits"] > 0

@@ -1,0 +1,113 @@
+"""Tests for the lock-striped :class:`repro.lru.ShardedLRU`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.lru import BoundedLRU, ShardedLRU
+from repro.pipeline.engine import DecompositionEngine, ResultCache
+
+
+def test_basic_get_put_contains():
+    cache = ShardedLRU(max_entries=16, num_shards=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert "a" in cache and "b" not in cache
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_capacity_is_split_across_shards_and_bounded():
+    cache = ShardedLRU(max_entries=8, num_shards=4)
+    for i in range(100):
+        cache.put(i, i)
+    assert len(cache) <= cache.max_entries
+    stats = cache.stats()
+    assert stats.stores == 100
+    assert stats.evictions >= 100 - cache.max_entries
+
+
+def test_shard_count_never_exceeds_capacity():
+    cache = ShardedLRU(max_entries=2, num_shards=8)
+    assert cache.num_shards == 2
+
+
+def test_recency_is_per_shard():
+    # One shard, so plain LRU behaviour must be observable through the wrapper.
+    cache = ShardedLRU(max_entries=2, num_shards=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_stats_aggregate_matches_shards():
+    cache = ShardedLRU(max_entries=64, num_shards=8)
+    for i in range(32):
+        cache.put(i, i)
+    for i in range(48):  # 32 hits, 16 misses
+        cache.get(i)
+    per_shard = cache.shard_stats()
+    total = cache.stats()
+    assert sum(s.hits for s in per_shard) == total.hits == 32
+    assert sum(s.misses for s in per_shard) == total.misses == 16
+    assert total.hit_rate == pytest.approx(32 / 48)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ShardedLRU(0)
+    with pytest.raises(ValueError):
+        ShardedLRU(4, num_shards=0)
+    with pytest.raises(ValueError):
+        BoundedLRU(0)
+
+
+def test_concurrent_hammer_is_consistent():
+    cache = ShardedLRU(max_entries=256, num_shards=8)
+    errors: list[str] = []
+    barrier = threading.Barrier(8)
+
+    def worker(worker_id: int) -> None:
+        barrier.wait(timeout=10)
+        for round_ in range(400):
+            key = (worker_id, round_ % 50)
+            cache.put(key, (worker_id, round_ % 50))
+            value = cache.get(key)
+            # The key may have been evicted, but a present value must be
+            # exactly what *some* put stored under that key.
+            if value is not None and value != key:
+                errors.append(f"wrong value {value!r} for {key!r}")
+            cache.get((worker_id + 1, round_ % 50))  # cross-shard traffic
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+    assert errors == []
+    assert len(cache) <= cache.max_entries
+    assert cache.stats().stores == 8 * 400
+
+
+def test_result_cache_exposes_shard_statistics():
+    cache = ResultCache(max_entries=64, num_shards=4)
+    assert cache.shard_statistics() and len(cache.shard_statistics()) == 4
+    assert cache.statistics.hits == 0
+    assert cache.get(("missing", 1)) is None
+    assert cache.statistics.misses == 1
+
+
+def test_auxiliary_cache_is_sharded():
+    engine = DecompositionEngine()
+    aux = engine.auxiliary_cache("test-cache", 32)
+    assert isinstance(aux, ShardedLRU)
+    aux.put("k", "v")
+    assert aux.get("k") == "v"
