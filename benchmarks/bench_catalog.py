@@ -1,0 +1,157 @@
+"""Micro-benchmark: restart-warm serving from the durable catalog (PR 6).
+
+The scenario the catalog exists for: a `DecompositionService` is killed and
+restarted, and the restarted process answers the previously-seen workload
+from the SQLite L2 tier instead of recomputing it.
+
+* **cold** — a fresh catalog file and a fresh service compute a mixed
+  workload (salted-clique negatives, each an exhaustive ~5-10 ms search,
+  plus a positive warm set) and persist every decided outcome;
+* **restart-warm** — a *fresh* engine and service over the same file serve
+  the identical workload: every answer is an L2 hit, re-validated on load,
+  and the decompose stage never runs.
+
+The summary test asserts the acceptance bar — restart-warm throughput
+>= 3x cold — and the zero-recompute invariant (L2 hits == distinct keys,
+L2 stores == 0 on the warm run).  The pytest-benchmark pair feeds the CI
+smoke artifact (``BENCH_catalog.json``).  Scale via ``REPRO_BENCH_SCALE``
+(``tiny`` default): larger scales add fresh instances, not harder ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+from conftest import write_result
+
+from repro.hypergraph import Hypergraph, generators
+from repro.pipeline.engine import DecompositionEngine
+from repro.service import DecompositionService
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+FRESH_INSTANCES = {"tiny": 6, "small": 10, "medium": 16}.get(SCALE, 6)
+K = 2
+
+
+def _salted(base: Hypergraph, salt: str) -> Hypergraph:
+    """A vertex-renamed copy: identical structure and search cost, but a
+    distinct canonical hash — i.e. a genuinely new catalog key."""
+    return Hypergraph(
+        {
+            name: [f"{vertex}~{salt}" for vertex in sorted(vertices)]
+            for name, vertices in base.edges_as_dict().items()
+        },
+        name=f"{base.name or 'instance'}~{salt}",
+    )
+
+
+def _workload() -> list[Hypergraph]:
+    """The fixed mixed workload shared by the cold and restart-warm arms."""
+    expensive = [
+        # clique(6) at k=2 is a stable negative: the search is exhaustive,
+        # the catalog row is a decided "no" that costs nothing to reload.
+        _salted(generators.clique(6), f"catalog-r{i}")
+        for i in range(FRESH_INSTANCES)
+    ]
+    positives = [
+        generators.cycle(6),
+        generators.cycle(10),
+        generators.grid(2, 3),
+        generators.hypercycle(8, 3),
+    ]
+    return expensive + positives
+
+
+def _serve_workload(path: str) -> tuple[float, object]:
+    """One service lifetime over the catalog at ``path``: submit the whole
+    workload once, wait, shut down.  Returns (elapsed seconds, L2 stats)."""
+    workload = _workload()
+    engine = DecompositionEngine(catalog=path)
+    service = DecompositionService(num_workers=2, engine=engine)
+    try:
+        start = time.perf_counter()
+        tickets = [service.submit(hypergraph, K) for hypergraph in workload]
+        results = [ticket.result(timeout=300) for ticket in tickets]
+        elapsed = time.perf_counter() - start
+        assert not any(result.timed_out for result in results)
+        engine.catalog.flush()
+        return elapsed, engine.catalog.stats()
+    finally:
+        service.shutdown(wait=True, cancel_pending=True)
+        engine.catalog.close()
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark pair (feeds BENCH_catalog.json)
+# --------------------------------------------------------------------------- #
+def test_catalog_cold_service(benchmark, tmp_path):
+    """Cold arm: fresh file + fresh service, every outcome computed + stored."""
+    counter = itertools.count()
+
+    def cold_run():
+        path = str(tmp_path / f"cold-{next(counter)}.db")
+        elapsed, stats = _serve_workload(path)
+        assert stats.stores == len(_workload())  # everything was persisted
+        assert stats.hits == 0
+        return elapsed
+
+    benchmark(cold_run)
+
+
+def test_catalog_restart_warm_service(benchmark, tmp_path):
+    """Warm arm: every round is a service "restart" over one populated file."""
+    path = str(tmp_path / "warm.db")
+    _serve_workload(path)  # populate once (the previous process's lifetime)
+
+    def restart_warm_run():
+        elapsed, stats = _serve_workload(path)
+        # The zero-recompute invariant: all answers came from the catalog.
+        assert stats.hits == len(_workload())
+        assert stats.misses == 0 and stats.stores == 0
+        assert stats.validate_rejects == 0
+        return elapsed
+
+    benchmark(restart_warm_run)
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance measurement
+# --------------------------------------------------------------------------- #
+def test_catalog_restart_warm_speedup_summary(tmp_path):
+    """Restart-warm service throughput must be >= 3x the cold throughput."""
+    requests = len(_workload())
+
+    cold_elapsed, cold_stats = _serve_workload(str(tmp_path / "summary.db"))
+    warm_elapsed, warm_stats = _serve_workload(str(tmp_path / "summary.db"))
+
+    assert cold_stats.stores == requests and cold_stats.hits == 0
+    assert warm_stats.hits == requests, (
+        f"restart-warm run had {warm_stats.hits} L2 hits for {requests} keys"
+    )
+    assert warm_stats.stores == 0, "restart-warm run recomputed something"
+    assert warm_stats.validate_rejects == 0
+
+    cold_rps = requests / cold_elapsed
+    warm_rps = requests / warm_elapsed
+    speedup = warm_rps / cold_rps
+    write_result(
+        "catalog_restart",
+        "\n".join(
+            [
+                f"durable-catalog restart-warm serving (scale={SCALE}, "
+                f"{requests} distinct keys, k={K})",
+                f"  cold service (compute + persist): {cold_rps:8.0f} req/s "
+                f"({cold_elapsed * 1000:7.1f} ms; stores={cold_stats.stores})",
+                f"  restart-warm service (L2 only)  : {warm_rps:8.0f} req/s "
+                f"({warm_elapsed * 1000:7.1f} ms; hits={warm_stats.hits}, "
+                f"stores={warm_stats.stores})",
+                f"  restart-warm / cold speedup     : {speedup:.2f}x",
+            ]
+        ),
+    )
+    assert speedup >= 3.0, (
+        f"restart-warm service was only {speedup:.2f}x the cold service "
+        "(acceptance bar: >= 3x)"
+    )

@@ -12,6 +12,9 @@ and Pichler.  The package provides:
 * :mod:`repro.pipeline` — the staged decomposition engine every entry point
   routes through: width-preserving simplification with reversible lifting,
   the declarative algorithm registry, and a canonical-hash result cache,
+* :mod:`repro.catalog` — the durable decomposition catalog: a SQLite-backed
+  L2 cache tier persisting validated certificates with provenance
+  (``python -m repro.catalog`` maintains it),
 * :mod:`repro.query` — HD-guided conjunctive query evaluation and CSP solving,
 * :mod:`repro.service` — the concurrent serving layer: sharded caches,
   in-flight request deduplication and a prioritised worker pool
@@ -102,6 +105,8 @@ _LAZY_EXPORTS = {
     "ServiceTicket": ("repro.service", "ServiceTicket"),
     "QueryEngine": ("repro.query", "QueryEngine"),
     "QueryWorkload": ("repro.query", "QueryWorkload"),
+    "DecompositionCatalog": ("repro.catalog", "DecompositionCatalog"),
+    "CatalogStats": ("repro.catalog", "CatalogStats"),
 }
 
 
@@ -177,4 +182,7 @@ __all__ = [
     "ServiceTicket",
     "QueryEngine",
     "QueryWorkload",
+    # durable catalog (lazy)
+    "DecompositionCatalog",
+    "CatalogStats",
 ]

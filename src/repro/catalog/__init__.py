@@ -1,0 +1,14 @@
+"""Durable decomposition catalog: SQLite-backed L2 cache with provenance.
+
+See :mod:`repro.catalog.store` for the design notes; ``python -m
+repro.catalog`` is the maintenance CLI (list / show / evict / vacuum).
+"""
+
+from .store import CatalogRecord, CatalogStats, DecompositionCatalog, configuration_text
+
+__all__ = [
+    "DecompositionCatalog",
+    "CatalogRecord",
+    "CatalogStats",
+    "configuration_text",
+]

@@ -1,0 +1,651 @@
+"""The durable decomposition catalog: a SQLite-backed L2 cache with provenance.
+
+Every in-memory cache of the library dies with the process; the catalog is
+the tier below them — a zero-config local SQLite file (WAL mode, stdlib
+:mod:`sqlite3`) mapping ``namespace × canonical_hash × k × configuration``
+to a serialized certificate plus full provenance:
+
+* the producing **algorithm** and its resolved registry configuration,
+* a **search-statistics snapshot** and the decompose-stage wall time,
+* a UTC **timestamp** and the library **code version**,
+* the **validation status** recorded at store time,
+* the instance itself in **HIF** form (:func:`repro.hypergraph.io.to_hif`),
+  so a row can be audited standalone by any HIF-aware tool.
+
+Design decisions that make the catalog safe to share:
+
+* **Validate on load.**  A row is only trusted after its certificate has
+  been decoded over the *caller's* hypergraph and has passed the independent
+  ``validate_hd``/``validate_ghd`` oracle.  Rows failing validation (a
+  tampered or torn write) are deleted and counted as ``validate_rejects`` —
+  the caller simply recomputes.
+* **Exactly-once rows.**  Stores go through ``INSERT OR IGNORE`` on the
+  primary key, so many processes racing to store one key agree on a single
+  surviving row without any cross-process locking.
+* **Write-behind.**  :meth:`DecompositionCatalog.put` enqueues; a daemon
+  writer thread serializes, validates and inserts off the caller's hot
+  path.  :meth:`flush` drains the queue (tests and clean shutdowns call it;
+  :meth:`close` flushes implicitly).  Because rows are only ever *decided*
+  answers and inserts are idempotent, losing queued writes in a crash costs
+  recomputation, never correctness.
+* **Graceful degradation.**  If the file cannot be opened, is corrupt, or a
+  write fails mid-flight, the catalog logs one warning and falls back to a
+  private in-memory database: serving keeps working, merely without
+  durability (``stats().memory_fallback`` makes the degradation visible).
+
+Namespaces isolate tenants sharing one file: a catalog handle is bound to
+one namespace; rows of other namespaces are invisible to `get`/`put` and
+are managed through the CLI (``python -m repro.catalog``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import sqlite3
+import threading
+from dataclasses import asdict, dataclass, replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..core.base import SearchStatistics
+from ..core.codec import (
+    class_for_kind,
+    decomposition_from_json,
+    decomposition_to_dict,
+    kind_of,
+)
+from ..decomp.decomposition import (
+    Decomposition,
+    DecompositionNode,
+    HypertreeDecomposition,
+)
+from ..decomp.validation import validate_ghd, validate_hd
+from ..exceptions import ReproError
+from ..hypergraph import Hypergraph
+from ..hypergraph.io import from_hif, to_hif
+
+__all__ = ["CatalogStats", "CatalogRecord", "DecompositionCatalog", "configuration_text"]
+
+logger = logging.getLogger("repro.catalog")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    namespace      TEXT    NOT NULL,
+    canonical_hash TEXT    NOT NULL,
+    k              INTEGER NOT NULL,
+    configuration  TEXT    NOT NULL,
+    algorithm      TEXT    NOT NULL,
+    success        INTEGER NOT NULL,
+    kind           TEXT    NOT NULL,
+    certificate    TEXT,
+    hypergraph     TEXT    NOT NULL,
+    statistics     TEXT    NOT NULL,
+    wall_seconds   REAL    NOT NULL,
+    created_at     TEXT    NOT NULL,
+    code_version   TEXT    NOT NULL,
+    validated      INTEGER NOT NULL,
+    PRIMARY KEY (namespace, canonical_hash, k, configuration)
+)
+"""
+
+
+def _stable(value):
+    """Recursively order-normalise a configuration value for stable text."""
+    if isinstance(value, frozenset):
+        return ("frozenset", sorted(_stable(item) for item in value))
+    if isinstance(value, tuple):
+        return ("tuple", [_stable(item) for item in value])
+    return ("atom", repr(value))
+
+
+def configuration_text(configuration: tuple) -> str:
+    """A deterministic text rendering of an algorithm-configuration key.
+
+    Configuration keys (:meth:`repro.core.base.Decomposer.cache_key` /
+    :meth:`repro.pipeline.registry.DecomposerRegistry.configuration_key`)
+    are nested tuples of primitives, possibly containing frozensets whose
+    ``repr`` order is not deterministic — so the rendering sorts set
+    contents before serialising.  The text is an opaque identity column,
+    not meant to be decoded.
+    """
+    return json.dumps(_stable(configuration), sort_keys=True)
+
+
+@dataclass
+class CatalogStats:
+    """Traffic counters of one catalog handle (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    duplicate_stores: int = 0
+    validate_rejects: int = 0
+    errors: int = 0
+    memory_fallback: bool = False
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (feeds the service stats snapshot)."""
+        return dict(asdict(self))
+
+    def merge(self, other: "CatalogStats") -> None:
+        """Accumulate ``other`` into this snapshot."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.duplicate_stores += other.duplicate_stores
+        self.validate_rejects += other.validate_rejects
+        self.errors += other.errors
+        self.memory_fallback = self.memory_fallback or other.memory_fallback
+
+
+@dataclass
+class CatalogRecord:
+    """One catalog row, decoded for the engine or the CLI.
+
+    ``root`` is the decomposition tree of the stored (reduced) instance —
+    ``None`` for negative entries — and ``kind`` the decomposition class it
+    re-validates as.  The remaining fields are provenance.
+    """
+
+    namespace: str
+    canonical_hash: str
+    k: int
+    algorithm: str
+    success: bool
+    root: DecompositionNode | None
+    kind: type
+    stats: SearchStatistics
+    hypergraph: Hypergraph
+    wall_seconds: float
+    created_at: str
+    code_version: str
+    validated: bool
+    configuration: str = ""
+
+
+@dataclass
+class _PendingWrite:
+    """A queued write-behind store, fully resolved off the caller's objects."""
+
+    canonical_hash: str
+    k: int
+    configuration: str
+    algorithm: str
+    success: bool
+    decomposition: Decomposition | None
+    kind: type
+    hypergraph: Hypergraph
+    stats: SearchStatistics
+    wall_seconds: float
+
+
+def _statistics_payload(stats: SearchStatistics) -> str:
+    counters = asdict(replace(stats, stage_seconds={}))
+    counters.pop("stage_seconds", None)
+    return json.dumps(counters, sort_keys=True)
+
+
+def _statistics_from_payload(text: str) -> SearchStatistics:
+    counters = json.loads(text)
+    known = {name for name in SearchStatistics.__dataclass_fields__ if name != "stage_seconds"}
+    return SearchStatistics(**{k: v for k, v in counters.items() if k in known})
+
+
+class DecompositionCatalog:
+    """A durable, namespaced store of decided decomposition outcomes.
+
+    Parameters
+    ----------
+    path:
+        The SQLite file (created on demand); parent directories must exist.
+    namespace:
+        The tenant namespace this handle reads and writes (default
+        ``"default"``).  Other namespaces in the same file are invisible.
+    synchronous_writes:
+        Bypass the write-behind queue and insert inline — slower ``put`` but
+        no :meth:`flush` needed before handing the file to another process.
+
+    The handle is thread-safe: one connection guarded by a lock (SQLite WAL
+    handles cross-process concurrency).  Use as a context manager or call
+    :meth:`close` to flush queued writes and release the file.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        namespace: str = "default",
+        *,
+        synchronous_writes: bool = False,
+    ) -> None:
+        if not namespace or any(ch.isspace() for ch in namespace):
+            raise ReproError(f"invalid catalog namespace {namespace!r}")
+        self.path = Path(path)
+        self.namespace = namespace
+        self.synchronous_writes = synchronous_writes
+        self._lock = threading.Lock()
+        self._stats = CatalogStats()
+        self._closed = False
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._pending = 0
+        self._drained = threading.Condition(self._lock)
+        self._writer: threading.Thread | None = None
+        self._connection = self._open()
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+    def _open(self) -> sqlite3.Connection:
+        try:
+            connection = sqlite3.connect(str(self.path), check_same_thread=False)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(_SCHEMA)
+            connection.commit()
+            return connection
+        except (sqlite3.Error, OSError) as exc:
+            return self._fall_back_to_memory(f"cannot open catalog {self.path}: {exc}")
+
+    def _fall_back_to_memory(self, reason: str) -> sqlite3.Connection:
+        """Degrade to a private in-memory database; caller may hold the lock."""
+        logger.warning(
+            "%s — continuing with a memory-only catalog (no durability)", reason
+        )
+        self._stats.memory_fallback = True
+        self._stats.errors += 1
+        connection = sqlite3.connect(":memory:", check_same_thread=False)
+        connection.execute(_SCHEMA)
+        connection.commit()
+        return connection
+
+    def close(self) -> None:
+        """Flush queued writes and close the underlying connection."""
+        self.flush()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._connection.close()
+
+    def __enter__(self) -> "DecompositionCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the L2 protocol: get / put / flush
+    # ------------------------------------------------------------------ #
+    def get(
+        self, hypergraph: Hypergraph, k: int, configuration: tuple | str
+    ) -> CatalogRecord | None:
+        """Look up a decided outcome for ``(hypergraph, k, configuration)``.
+
+        Positive entries are decoded over the *given* hypergraph and must
+        pass the independent ``validate_hd``/``validate_ghd`` oracle before
+        they are returned; a row failing decode or validation is deleted,
+        counted as a ``validate_reject`` and reported as a miss, so the
+        caller transparently recomputes (and re-stores) it.
+        """
+        config_text = self._configuration_text(configuration)
+        canonical_hash = hypergraph.canonical_hash()
+        row = self._fetch_row(canonical_hash, k, config_text)
+        if row is None:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        record = self._decode_row(row, hypergraph)
+        with self._lock:
+            if record is None:
+                self._stats.validate_rejects += 1
+                self._stats.misses += 1
+            else:
+                self._stats.hits += 1
+        if record is None:
+            self._delete_row(canonical_hash, k, config_text)
+        return record
+
+    def put(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        configuration: tuple | str,
+        *,
+        algorithm: str,
+        success: bool,
+        decomposition: Decomposition | None,
+        stats: SearchStatistics | None = None,
+        wall_seconds: float = 0.0,
+    ) -> None:
+        """Persist a decided outcome (write-behind unless ``synchronous_writes``).
+
+        ``decomposition`` must be hosted on ``hypergraph`` (the engine passes
+        the *reduced* instance and its certificate); negative outcomes pass
+        ``success=False`` with ``decomposition=None``.  Timed-out or
+        cancelled runs must never reach the catalog — the engine enforces
+        that, mirroring its L1 policy.
+        """
+        pending = _PendingWrite(
+            canonical_hash=hypergraph.canonical_hash(),
+            k=k,
+            configuration=self._configuration_text(configuration),
+            algorithm=algorithm,
+            success=bool(success),
+            decomposition=decomposition,
+            kind=type(decomposition) if decomposition is not None else HypertreeDecomposition,
+            hypergraph=hypergraph,
+            stats=stats if stats is not None else SearchStatistics(),
+            wall_seconds=wall_seconds,
+        )
+        if self.synchronous_writes:
+            self._write(pending)
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._pending += 1
+            if self._writer is None:
+                self._writer = threading.Thread(
+                    target=self._writer_loop, name="repro-catalog-writer", daemon=True
+                )
+                self._writer.start()
+        self._queue.put(pending)
+
+    def flush(self, timeout: float | None = 30.0) -> bool:
+        """Block until every queued write-behind store has been applied."""
+        with self._drained:
+            return self._drained.wait_for(lambda: self._pending == 0, timeout=timeout)
+
+    def stats(self) -> CatalogStats:
+        """A snapshot of this handle's traffic counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    # ------------------------------------------------------------------ #
+    # enumeration / maintenance (the CLI's surface)
+    # ------------------------------------------------------------------ #
+    def namespaces(self) -> list[str]:
+        """All namespaces present in the file, sorted."""
+        rows = self._execute(
+            "SELECT DISTINCT namespace FROM entries ORDER BY namespace"
+        )
+        return [row[0] for row in rows] if rows is not None else []
+
+    def entries(
+        self,
+        namespace: str | None = None,
+        *,
+        hash_prefix: str = "",
+        k: int | None = None,
+    ) -> list[CatalogRecord]:
+        """Decode matching rows (``namespace=None`` means this handle's own).
+
+        Rows whose certificate fails validation against their *stored*
+        hypergraph are skipped (and counted) — enumeration never returns an
+        untrusted record.
+        """
+        clauses = ["namespace = ?"]
+        parameters: list = [namespace if namespace is not None else self.namespace]
+        if hash_prefix:
+            clauses.append("canonical_hash LIKE ?")
+            parameters.append(hash_prefix + "%")
+        if k is not None:
+            clauses.append("k = ?")
+            parameters.append(k)
+        rows = self._execute(
+            "SELECT namespace, canonical_hash, k, configuration, algorithm, success, "
+            "kind, certificate, hypergraph, statistics, wall_seconds, created_at, "
+            f"code_version, validated FROM entries WHERE {' AND '.join(clauses)} "
+            "ORDER BY created_at, canonical_hash, k",
+            tuple(parameters),
+        )
+        records = []
+        for row in rows or []:
+            record = self._decode_row(row, host=None)
+            if record is None:
+                with self._lock:
+                    self._stats.validate_rejects += 1
+                continue
+            records.append(record)
+        return records
+
+    def evict(
+        self,
+        namespace: str | None = None,
+        *,
+        hash_prefix: str = "",
+        k: int | None = None,
+    ) -> int:
+        """Delete matching rows; returns the number removed."""
+        clauses = ["namespace = ?"]
+        parameters: list = [namespace if namespace is not None else self.namespace]
+        if hash_prefix:
+            clauses.append("canonical_hash LIKE ?")
+            parameters.append(hash_prefix + "%")
+        if k is not None:
+            clauses.append("k = ?")
+            parameters.append(k)
+        with self._lock:
+            if self._closed:
+                return 0
+            try:
+                cursor = self._connection.execute(
+                    f"DELETE FROM entries WHERE {' AND '.join(clauses)}",
+                    tuple(parameters),
+                )
+                self._connection.commit()
+                return cursor.rowcount
+            except sqlite3.Error as exc:
+                self._connection = self._fall_back_to_memory(
+                    f"catalog evict failed: {exc}"
+                )
+                return 0
+
+    def vacuum(self) -> None:
+        """Reclaim the space of evicted rows (SQLite ``VACUUM``)."""
+        self.flush()
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._connection.execute("VACUUM")
+            except sqlite3.Error as exc:
+                self._connection = self._fall_back_to_memory(
+                    f"catalog vacuum failed: {exc}"
+                )
+
+    def __len__(self) -> int:
+        rows = self._execute(
+            "SELECT COUNT(*) FROM entries WHERE namespace = ?", (self.namespace,)
+        )
+        return int(rows[0][0]) if rows else 0
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _configuration_text(configuration: tuple | str) -> str:
+        if isinstance(configuration, str):
+            return configuration
+        return configuration_text(configuration)
+
+    def _execute(self, sql: str, parameters: tuple = ()) -> list | None:
+        with self._lock:
+            if self._closed:
+                return None
+            try:
+                return self._connection.execute(sql, parameters).fetchall()
+            except sqlite3.Error as exc:
+                self._connection = self._fall_back_to_memory(
+                    f"catalog query failed: {exc}"
+                )
+                return None
+
+    def _fetch_row(self, canonical_hash: str, k: int, config_text: str):
+        rows = self._execute(
+            "SELECT namespace, canonical_hash, k, configuration, algorithm, success, "
+            "kind, certificate, hypergraph, statistics, wall_seconds, created_at, "
+            "code_version, validated FROM entries WHERE namespace = ? AND "
+            "canonical_hash = ? AND k = ? AND configuration = ?",
+            (self.namespace, canonical_hash, k, config_text),
+        )
+        return rows[0] if rows else None
+
+    def _delete_row(self, canonical_hash: str, k: int, config_text: str) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._connection.execute(
+                    "DELETE FROM entries WHERE namespace = ? AND canonical_hash = ? "
+                    "AND k = ? AND configuration = ?",
+                    (self.namespace, canonical_hash, k, config_text),
+                )
+                self._connection.commit()
+            except sqlite3.Error as exc:
+                self._connection = self._fall_back_to_memory(
+                    f"catalog delete failed: {exc}"
+                )
+
+    def _decode_row(self, row, host: Hypergraph | None) -> CatalogRecord | None:
+        """Decode and (for positive entries) validate one row.
+
+        ``host`` is the caller's hypergraph for `get` lookups; for
+        enumeration it is ``None`` and the stored HIF instance is used.
+        Any decode or validation failure yields ``None`` — the row is not
+        to be trusted.
+        """
+        (
+            namespace,
+            canonical_hash,
+            k,
+            configuration,
+            algorithm,
+            success,
+            kind_name,
+            certificate,
+            hif_text,
+            stats_text,
+            wall_seconds,
+            created_at,
+            code_version,
+            validated,
+        ) = row
+        try:
+            hypergraph = host if host is not None else from_hif(hif_text)
+            stats = _statistics_from_payload(stats_text)
+            root: DecompositionNode | None = None
+            kind: type = HypertreeDecomposition
+            if success:
+                decomposition = decomposition_from_json(hypergraph, certificate)
+                if decomposition.kind != kind_name:
+                    return None
+                if isinstance(decomposition, HypertreeDecomposition):
+                    validate_hd(decomposition)
+                else:
+                    validate_ghd(decomposition)
+                if decomposition.width > k:
+                    return None
+                root = decomposition.root
+                kind = type(decomposition)
+            else:
+                kind = class_for_kind(kind_name)
+        except (ReproError, ValueError, TypeError, KeyError):
+            return None
+        return CatalogRecord(
+            namespace=namespace,
+            canonical_hash=canonical_hash,
+            k=int(k),
+            algorithm=algorithm,
+            success=bool(success),
+            root=root,
+            kind=kind,
+            stats=stats,
+            hypergraph=hypergraph,
+            wall_seconds=float(wall_seconds),
+            created_at=created_at,
+            code_version=code_version,
+            validated=bool(validated),
+            configuration=configuration,
+        )
+
+    def _writer_loop(self) -> None:
+        while True:
+            pending = self._queue.get()
+            try:
+                self._write(pending)
+            finally:
+                with self._drained:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._drained.notify_all()
+
+    def _write(self, pending: _PendingWrite) -> None:
+        from .. import __version__
+
+        validated = False
+        certificate = None
+        kind_name = kind_of(pending.kind) if pending.decomposition is None else ""
+        try:
+            if pending.decomposition is not None:
+                # Validate before persisting: a row in the catalog is a
+                # *trusted-at-store-time* certificate, and the check runs on
+                # the writer thread, off the serving hot path.
+                if isinstance(pending.decomposition, HypertreeDecomposition):
+                    validate_hd(pending.decomposition)
+                else:
+                    validate_ghd(pending.decomposition)
+                validated = True
+                certificate = json.dumps(
+                    decomposition_to_dict(pending.decomposition), sort_keys=True
+                )
+                kind_name = pending.decomposition.kind
+        except ReproError:
+            logger.warning(
+                "refusing to store an invalid certificate for %s (k=%d)",
+                pending.canonical_hash[:12],
+                pending.k,
+            )
+            with self._lock:
+                self._stats.errors += 1
+            return
+
+        row = (
+            self.namespace,
+            pending.canonical_hash,
+            pending.k,
+            pending.configuration,
+            pending.algorithm,
+            int(pending.success),
+            kind_name,
+            certificate,
+            json.dumps(to_hif(pending.hypergraph), sort_keys=True),
+            _statistics_payload(pending.stats),
+            pending.wall_seconds,
+            datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            __version__,
+            int(validated),
+        )
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                cursor = self._connection.execute(
+                    "INSERT OR IGNORE INTO entries (namespace, canonical_hash, k, "
+                    "configuration, algorithm, success, kind, certificate, hypergraph, "
+                    "statistics, wall_seconds, created_at, code_version, validated) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    row,
+                )
+                self._connection.commit()
+                if cursor.rowcount:
+                    self._stats.stores += 1
+                else:
+                    # Another handle/process stored the key first: the
+                    # INSERT OR IGNORE race resolution, not an error.
+                    self._stats.duplicate_stores += 1
+            except sqlite3.Error as exc:
+                self._connection = self._fall_back_to_memory(
+                    f"catalog write failed: {exc}"
+                )

@@ -1,0 +1,223 @@
+"""Stable JSON serialisation of decompositions and join trees.
+
+The durable catalog (:mod:`repro.catalog`) persists certificates across
+processes, so the library needs a serialisation of its tree objects that is
+
+* **stable** — the same decomposition always encodes to the same JSON text
+  (collections are emitted in sorted order), so encoded certificates can be
+  compared, hashed and deduplicated byte-wise;
+* **host-free** — a :class:`~repro.decomp.decomposition.Decomposition` is a
+  tree *over* a hypergraph; only the tree (bags, covers, kind) is encoded.
+  Decoding takes the host hypergraph explicitly and re-resolves every edge
+  and vertex name against it, so a payload can never smuggle in structure
+  the host does not have;
+* **versioned** — payloads carry a ``format`` tag checked on decode, so a
+  future schema change fails loudly instead of mis-decoding old rows.
+
+Decoding is deliberately paranoid: malformed payloads raise
+:class:`~repro.exceptions.ParseError`, and loaded certificates are expected
+to be re-validated by the caller (the catalog runs ``validate_hd`` on every
+loaded decomposition before trusting it — see :mod:`repro.catalog`).
+
+Round-trip example::
+
+    >>> from repro import Hypergraph, hypertree_width
+    >>> from repro.core.codec import decomposition_to_json, decomposition_from_json
+    >>> h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+    >>> _, hd = hypertree_width(h)
+    >>> restored = decomposition_from_json(h, decomposition_to_json(hd))
+    >>> type(restored) is type(hd) and restored.width == hd.width
+    True
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..decomp.decomposition import (
+    Decomposition,
+    DecompositionNode,
+    GeneralizedHypertreeDecomposition,
+    HypertreeDecomposition,
+)
+from ..decomp.jointree import JoinTree, JoinTreeNode
+from ..exceptions import ParseError
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "DECOMPOSITION_FORMAT",
+    "JOIN_TREE_FORMAT",
+    "kind_of",
+    "class_for_kind",
+    "decomposition_to_dict",
+    "decomposition_from_dict",
+    "decomposition_to_json",
+    "decomposition_from_json",
+    "join_tree_to_dict",
+    "join_tree_from_dict",
+    "join_tree_to_json",
+    "join_tree_from_json",
+]
+
+DECOMPOSITION_FORMAT = "repro-decomposition/1"
+JOIN_TREE_FORMAT = "repro-join-tree/1"
+
+#: ``kind`` string (as stored in payloads) → decomposition class.  The plain
+#: base class is included so a payload can be explicit about *not* claiming
+#: any conditions.
+_KIND_CLASSES: dict[str, type[Decomposition]] = {
+    HypertreeDecomposition.kind: HypertreeDecomposition,
+    GeneralizedHypertreeDecomposition.kind: GeneralizedHypertreeDecomposition,
+    Decomposition.kind: Decomposition,
+}
+
+
+def kind_of(decomposition_class: type) -> str:
+    """The payload ``kind`` tag of a decomposition class (e.g. ``"hd"``)."""
+    kind = getattr(decomposition_class, "kind", None)
+    if kind not in _KIND_CLASSES:
+        raise ParseError(f"unknown decomposition class {decomposition_class!r}")
+    return kind
+
+
+def class_for_kind(kind: str) -> type[Decomposition]:
+    """The decomposition class of a payload ``kind`` tag."""
+    try:
+        return _KIND_CLASSES[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KIND_CLASSES))
+        raise ParseError(f"unknown decomposition kind {kind!r}; known: {known}") from None
+
+
+def _require(payload: object, key: str, expected: type):
+    if not isinstance(payload, dict):
+        raise ParseError(f"expected a JSON object, got {type(payload).__name__}")
+    try:
+        value = payload[key]
+    except KeyError:
+        raise ParseError(f"payload is missing the {key!r} field") from None
+    if not isinstance(value, expected):
+        raise ParseError(
+            f"payload field {key!r} must be {expected.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _string_list(payload: dict, key: str) -> list[str]:
+    values = _require(payload, key, list)
+    if not all(isinstance(value, str) for value in values):
+        raise ParseError(f"payload field {key!r} must contain only strings")
+    return values
+
+
+# --------------------------------------------------------------------------- #
+# decomposition trees
+# --------------------------------------------------------------------------- #
+def _node_to_dict(node: DecompositionNode) -> dict:
+    return {
+        "bag": sorted(node.bag),
+        "cover": sorted(node.cover),
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(payload: dict) -> DecompositionNode:
+    return DecompositionNode(
+        bag=frozenset(_string_list(payload, "bag")),
+        cover=frozenset(_string_list(payload, "cover")),
+        children=[_node_from_dict(child) for child in _require(payload, "children", list)],
+    )
+
+
+def decomposition_to_dict(decomposition: Decomposition) -> dict:
+    """Encode the tree of a decomposition (bags, covers, kind) as plain JSON data.
+
+    The host hypergraph is *not* part of the payload; pass it back to
+    :func:`decomposition_from_dict` when decoding.
+    """
+    return {
+        "format": DECOMPOSITION_FORMAT,
+        "kind": decomposition.kind,
+        "root": _node_to_dict(decomposition.root),
+    }
+
+
+def decomposition_from_dict(hypergraph: Hypergraph, payload: dict) -> Decomposition:
+    """Rebuild a decomposition over ``hypergraph`` from an encoded payload.
+
+    Raises :class:`~repro.exceptions.ParseError` for malformed payloads and
+    :class:`~repro.exceptions.DecompositionError` when the tree references
+    edges or vertices the host does not have (the class constructor checks).
+    The semantic HD/GHD conditions are *not* checked here — run the
+    :mod:`repro.decomp.validation` oracle on the result before trusting it.
+    """
+    if _require(payload, "format", str) != DECOMPOSITION_FORMAT:
+        raise ParseError(f"unsupported decomposition payload format {payload['format']!r}")
+    cls = class_for_kind(_require(payload, "kind", str))
+    return cls(hypergraph, _node_from_dict(_require(payload, "root", dict)))
+
+
+def decomposition_to_json(decomposition: Decomposition) -> str:
+    """:func:`decomposition_to_dict` rendered as canonical (sorted-key) JSON."""
+    return json.dumps(decomposition_to_dict(decomposition), sort_keys=True)
+
+
+def decomposition_from_json(hypergraph: Hypergraph, text: str) -> Decomposition:
+    """Decode :func:`decomposition_to_json` output over the given host."""
+    return decomposition_from_dict(hypergraph, _load_json(text))
+
+
+# --------------------------------------------------------------------------- #
+# join trees
+# --------------------------------------------------------------------------- #
+def _join_node_to_dict(node: JoinTreeNode) -> dict:
+    return {
+        "variables": sorted(node.variables),
+        "cover_edges": sorted(node.cover_edges),
+        "assigned_edges": sorted(node.assigned_edges),
+        "children": [_join_node_to_dict(child) for child in node.children],
+    }
+
+
+def _join_node_from_dict(payload: dict) -> JoinTreeNode:
+    return JoinTreeNode(
+        variables=frozenset(_string_list(payload, "variables")),
+        cover_edges=frozenset(_string_list(payload, "cover_edges")),
+        assigned_edges=frozenset(_string_list(payload, "assigned_edges")),
+        children=[
+            _join_node_from_dict(child) for child in _require(payload, "children", list)
+        ],
+    )
+
+
+def join_tree_to_dict(join_tree: JoinTree) -> dict:
+    """Encode a join tree (variables, cover edges, atom assignment) as JSON data."""
+    return {
+        "format": JOIN_TREE_FORMAT,
+        "root": _join_node_to_dict(join_tree.root),
+    }
+
+
+def join_tree_from_dict(hypergraph: Hypergraph, payload: dict) -> JoinTree:
+    """Rebuild a join tree over ``hypergraph``; run ``validate()`` to trust it."""
+    if _require(payload, "format", str) != JOIN_TREE_FORMAT:
+        raise ParseError(f"unsupported join-tree payload format {payload['format']!r}")
+    return JoinTree(hypergraph, _join_node_from_dict(_require(payload, "root", dict)))
+
+
+def join_tree_to_json(join_tree: JoinTree) -> str:
+    """:func:`join_tree_to_dict` rendered as canonical (sorted-key) JSON."""
+    return json.dumps(join_tree_to_dict(join_tree), sort_keys=True)
+
+
+def join_tree_from_json(hypergraph: Hypergraph, text: str) -> JoinTree:
+    """Decode :func:`join_tree_to_json` output over the given host."""
+    return join_tree_from_dict(hypergraph, _load_json(text))
+
+
+def _load_json(text: str):
+    try:
+        return json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise ParseError(f"payload is not valid JSON: {exc}") from exc

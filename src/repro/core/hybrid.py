@@ -108,21 +108,15 @@ class HybridDecomposer(Decomposer):
         metric: SwitchMetric | str = "WeightedCount",
         threshold: float = 400.0,
         negative_base_case: bool = True,
-        restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
         label_pruning: bool = True,
         subedge_domination: bool = True,
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
-        if not restrict_allowed_edges:
-            from .logk import _warn_restrict_allowed_edges_ignored
-
-            _warn_restrict_allowed_edges_ignored()
         self.metric = make_metric(metric) if isinstance(metric, str) else metric
         self.threshold = threshold
         self.negative_base_case = negative_base_case
-        self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
         self.label_pruning = label_pruning
         self.subedge_domination = subedge_domination
@@ -151,7 +145,6 @@ class HybridDecomposer(Decomposer):
         search = LogKSearch(
             context,
             negative_base_case=self.negative_base_case,
-            restrict_allowed_edges=self.restrict_allowed_edges,
             parent_overlap_pruning=self.parent_overlap_pruning,
             label_pruning=self.label_pruning,
             subedge_domination=self.subedge_domination,

@@ -25,10 +25,11 @@ the fragment above it (the ``allowed`` set threaded through the recursion) is
 **not** an optional optimisation: an "up" fragment whose λ-label uses an edge
 of the component below the stitch point puts vertices of that component into
 ∪λ(u) without them being in χ(u), which violates HD condition 4 (the special
-condition) on the stitched tree.  The historical ``restrict_allowed_edges``
-flag is therefore accepted but ignored — the restriction is always applied
-(it also never loses completeness: fragments extracted from a valid HD never
-need the excluded edges, by the very same condition 4).
+condition) on the stitched tree.  The restriction is therefore always
+applied (it also never loses completeness: fragments extracted from a valid
+HD never need the excluded edges, by the very same condition 4).  The
+historical ``restrict_allowed_edges`` flag that once disabled it went
+through a deprecation cycle and has been removed.
 
 A ``leaf_delegate`` hook allows the hybrid decomposer to hand sufficiently
 small subproblems to det-k-decomp (Appendix D.2).
@@ -49,19 +50,6 @@ from .fragments import fragment_to_decomposition, replace_special_leaf, special_
 __all__ = ["LogKSearch", "LogKDecomposer"]
 
 
-def _warn_restrict_allowed_edges_ignored() -> None:
-    """One warning site shared by the decomposers that accept the dead flag."""
-    import warnings
-
-    warnings.warn(
-        "restrict_allowed_edges=False is ignored: the allowed-edge "
-        "restriction is correctness-relevant (HD condition 4 on stitched "
-        "trees) and always applied — see the root-cause note in ROADMAP.md "
-        "and the repro.core.logk module docs.  The flag will be removed.",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
 LeafDelegate = Callable[[Comp, int, int, frozenset[int]], FragmentNode | None]
 DelegatePredicate = Callable[[Comp], bool]
 
@@ -73,7 +61,6 @@ class LogKSearch:
         self,
         context: SearchContext,
         negative_base_case: bool = True,
-        restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
         require_balanced: bool = True,
         use_cache: bool = True,
@@ -85,9 +72,6 @@ class LogKSearch:
     ) -> None:
         self.context = context
         self.negative_base_case = negative_base_case
-        # Retained for API/bench compatibility; the allowed-edge restriction
-        # is correctness-relevant and always applied (see the module docs).
-        self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
         self.require_balanced = require_balanced
         self.use_cache = use_cache
@@ -349,7 +333,6 @@ class LogKDecomposer(Decomposer):
         self,
         timeout: float | None = None,
         negative_base_case: bool = True,
-        restrict_allowed_edges: bool = True,
         parent_overlap_pruning: bool = True,
         require_balanced: bool = True,
         label_pruning: bool = True,
@@ -357,10 +340,7 @@ class LogKDecomposer(Decomposer):
         **engine_options,
     ) -> None:
         super().__init__(timeout=timeout, **engine_options)
-        if not restrict_allowed_edges:
-            _warn_restrict_allowed_edges_ignored()
         self.negative_base_case = negative_base_case
-        self.restrict_allowed_edges = restrict_allowed_edges
         self.parent_overlap_pruning = parent_overlap_pruning
         self.require_balanced = require_balanced
         self.label_pruning = label_pruning
@@ -370,7 +350,6 @@ class LogKDecomposer(Decomposer):
         return LogKSearch(
             context,
             negative_base_case=self.negative_base_case,
-            restrict_allowed_edges=self.restrict_allowed_edges,
             parent_overlap_pruning=self.parent_overlap_pruning,
             require_balanced=self.require_balanced,
             label_pruning=self.label_pruning,

@@ -2,7 +2,14 @@
 
 from .hypergraph import Hypergraph
 from .cq import Atom, ConjunctiveQuery, CSPInstance
-from .io import parse_hypergraph, read_hypergraph, write_hypergraph, to_hyperbench_format
+from .io import (
+    from_hif,
+    parse_hypergraph,
+    read_hypergraph,
+    to_hif,
+    to_hyperbench_format,
+    write_hypergraph,
+)
 from . import generators, properties
 
 __all__ = [
@@ -14,6 +21,8 @@ __all__ = [
     "read_hypergraph",
     "write_hypergraph",
     "to_hyperbench_format",
+    "to_hif",
+    "from_hif",
     "generators",
     "properties",
 ]

@@ -1,6 +1,6 @@
 """Parsing and serialisation of hypergraphs.
 
-Two textual formats are supported:
+Three textual formats are supported:
 
 * **HyperBench format** (the format used by the HyperBench benchmark and the
   det-k-decomp / log-k-decomp tools): one edge per statement of the form
@@ -16,11 +16,19 @@ Two textual formats are supported:
   followed by one line per edge listing vertex numbers; the edge written on
   line ``i`` (after the header) is named ``e<i>``.
 
-The parser auto-detects the format.
+* **HIF (Hypergraph Interchange Format)**: the JSON interchange schema used
+  across hypergraph libraries — a top-level object with ``nodes``, ``edges``
+  and ``incidences`` arrays (:func:`to_hif` / :func:`from_hif`).  The durable
+  catalog (:mod:`repro.catalog`) stores instances in this format so its rows
+  are readable by other HIF-aware tools.
+
+The parser auto-detects the format (HIF input is recognised by its leading
+``{``).
 """
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 
@@ -33,13 +41,17 @@ __all__ = [
     "write_hypergraph",
     "to_hyperbench_format",
     "to_pace_format",
+    "to_hif",
+    "from_hif",
 ]
 
 _ATOM_RE = re.compile(r"\s*([A-Za-z0-9_\-.:]+)\s*\(([^()]*)\)\s*")
 
 
 def parse_hypergraph(text: str, name: str = "") -> Hypergraph:
-    """Parse hypergraph ``text`` in HyperBench or PACE format."""
+    """Parse hypergraph ``text`` in HyperBench, PACE or HIF (JSON) format."""
+    if text.lstrip().startswith("{"):
+        return from_hif(text, name=name)
     stripped = _strip_comments(text)
     if not stripped.strip():
         raise ParseError("empty hypergraph description")
@@ -79,6 +91,84 @@ def to_pace_format(hypergraph: Hypergraph) -> str:
         )
         lines.append(" ".join(str(i) for i in ids))
     return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# HIF (Hypergraph Interchange Format)
+# --------------------------------------------------------------------------- #
+def to_hif(hypergraph: Hypergraph) -> dict:
+    """Serialise a hypergraph as an HIF document (a plain JSON-ready dict).
+
+    Nodes are listed in vertex-id order, edges in edge-index order, and
+    incidences in (edge index, vertex name) order, so the rendering is
+    deterministic.  The instance name (when set) is carried in
+    ``metadata.name``.
+    """
+    document: dict = {"network-type": "undirected"}
+    if hypergraph.name:
+        document["metadata"] = {"name": hypergraph.name}
+    document["nodes"] = [{"node": vertex} for vertex in hypergraph.vertex_names]
+    document["edges"] = [{"edge": name} for name in hypergraph.edge_names]
+    document["incidences"] = [
+        {"edge": hypergraph.edge_name(index), "node": vertex}
+        for index in range(hypergraph.num_edges)
+        for vertex in sorted(hypergraph.edge_vertices(index))
+    ]
+    return document
+
+
+def from_hif(document: dict | str, name: str = "") -> Hypergraph:
+    """Parse an HIF document (a dict or its JSON text) into a :class:`Hypergraph`.
+
+    Edge order follows the ``edges`` array when present, otherwise first
+    appearance in ``incidences``.  Isolated nodes (listed in ``nodes`` but
+    incident to no edge) are rejected: the library identifies a hypergraph
+    with its edge set, so isolated vertices are not representable.
+    """
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except ValueError as exc:
+            raise ParseError(f"HIF input is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ParseError("HIF input must be a JSON object")
+    incidences = document.get("incidences")
+    if not isinstance(incidences, list):
+        raise ParseError("HIF input is missing the 'incidences' array")
+
+    edges: dict[str, list[str]] = {}
+    for entry in document.get("edges", []):
+        if not isinstance(entry, dict) or "edge" not in entry:
+            raise ParseError(f"malformed HIF edge entry {entry!r}")
+        edges.setdefault(str(entry["edge"]), [])
+    for entry in incidences:
+        if not isinstance(entry, dict) or "edge" not in entry or "node" not in entry:
+            raise ParseError(f"malformed HIF incidence entry {entry!r}")
+        edges.setdefault(str(entry["edge"]), []).append(str(entry["node"]))
+
+    empty = sorted(edge for edge, vertices in edges.items() if not vertices)
+    if empty:
+        raise ParseError(f"HIF edges without incidences: {empty}")
+    if not edges:
+        raise ParseError("HIF input describes no edges")
+
+    incident = {vertex for vertices in edges.values() for vertex in vertices}
+    isolated = sorted(
+        str(entry.get("node"))
+        for entry in document.get("nodes", [])
+        if isinstance(entry, dict) and str(entry.get("node")) not in incident
+    )
+    if isolated:
+        raise ParseError(
+            f"HIF input has isolated nodes {isolated}; hypergraphs are "
+            "identified with their edge sets, so isolated vertices cannot "
+            "be represented"
+        )
+
+    metadata = document.get("metadata")
+    if not name and isinstance(metadata, dict):
+        name = str(metadata.get("name", ""))
+    return Hypergraph(edges, name=name)
 
 
 # --------------------------------------------------------------------------- #

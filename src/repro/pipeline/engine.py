@@ -12,7 +12,12 @@ Every :meth:`repro.core.base.Decomposer.decompose` call routes through a
    ``(canonical hypergraph hash, k, algorithm cache key)``.  Only *decided*
    outcomes are stored — timeouts are never cached — and positive entries
    keep the decomposition tree of the reduced instance so a hit can be
-   lifted for the new caller;
+   lifted for the new caller.  When the engine was built with a ``catalog``
+   (a durable :class:`~repro.catalog.DecompositionCatalog`), an L1 miss
+   falls through to the catalog (L2): loaded certificates are re-validated
+   before use, hits are promoted into L1, and decided outcomes are written
+   behind to the catalog after the L1 store, so the durable tier can never
+   be *ahead* of the in-memory one within a process;
 3. **decompose** — split the reduced instance into vertex-connected
    components and run the underlying algorithm
    (:meth:`~repro.core.base.Decomposer.decompose_raw`) on each.  HDs of
@@ -55,6 +60,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
+from ..catalog import DecompositionCatalog
 from ..core.base import Decomposer, DecompositionResult, SearchStatistics
 from ..decomp.decomposition import (
     Decomposition,
@@ -188,6 +194,14 @@ class DecompositionEngine:
     cache:
         A :class:`ResultCache`, ``True`` for a private default-sized cache,
         or ``False``/``None`` to disable caching.
+    catalog:
+        A durable L2 tier behind the result cache: a
+        :class:`~repro.catalog.DecompositionCatalog`, or a path (``str`` /
+        :class:`~pathlib.Path`) to open one on.  ``None`` (the default)
+        keeps the engine memory-only.  Misses in L1 fall through to the
+        catalog; every certificate loaded from it is re-validated against
+        the independent oracle before being trusted, and decided outcomes
+        are written behind to the catalog after the L1 store.
     validate:
         Run ``validate_hd`` on every successful lifted decomposition.
         Off by default (the test-suite exercises the oracle instead).
@@ -199,6 +213,7 @@ class DecompositionEngine:
         simplify: bool = True,
         split_components: bool = True,
         cache: ResultCache | bool | None = True,
+        catalog: "DecompositionCatalog | str | None" = None,
         validate: bool = False,
     ) -> None:
         self.simplify_enabled = simplify
@@ -208,6 +223,9 @@ class DecompositionEngine:
         elif cache is False:
             cache = None
         self.cache = cache
+        if catalog is not None and not isinstance(catalog, DecompositionCatalog):
+            catalog = DecompositionCatalog(catalog)
+        self.catalog = catalog
         self.validate = validate
         self._auxiliary: dict[str, ShardedLRU] = {}
         self._auxiliary_lock = threading.Lock()
@@ -261,16 +279,33 @@ class DecompositionEngine:
         reduced = trace.reduced
         stats.record_stage("simplify", time.monotonic() - t0)
 
-        # Stage 2: cache lookup on the reduced instance.
+        # Stage 2: cache lookup on the reduced instance (L1, then the
+        # durable catalog as L2).
         key = None
         success: bool | None = None
         timed_out = False
         combined_root: DecompositionNode | None = None
         kind: type = HypertreeDecomposition
-        if self.cache is not None:
+        if self.cache is not None or self.catalog is not None:
             t0 = time.monotonic()
             key = (reduced.canonical_hash(), k, decomposer.cache_key())
-            entry = self.cache.get(key)
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is None and self.catalog is not None:
+                record = self.catalog.get(reduced, k, key[2])
+                if record is not None:
+                    # The catalog re-validated the certificate against
+                    # ``reduced`` before returning it, so it can be promoted
+                    # into L1 and used exactly like an L1 hit.
+                    entry = _CacheEntry(
+                        success=record.success,
+                        root=record.root,
+                        kind=record.kind,
+                        stats=record.stats,
+                    )
+                    if self.cache is not None:
+                        self.cache.put(
+                            key, record.success, record.root, record.kind, record.stats
+                        )
             stats.record_stage("cache", time.monotonic() - t0)
             if entry is not None:
                 # Replay the producing run's counters; engine-level hit/miss
@@ -289,8 +324,27 @@ class DecompositionEngine:
                 decomposer, reduced, k, stats, cancel_event
             )
             stats.record_stage("decompose", time.monotonic() - t0)
-            if self.cache is not None and key is not None and not timed_out:
-                self.cache.put(key, success, combined_root, kind, stats)
+            if key is not None and not timed_out:
+                # L1 first, then the durable write-behind: within a process
+                # the catalog never gets ahead of the in-memory tier.
+                if self.cache is not None:
+                    self.cache.put(key, success, combined_root, kind, stats)
+                if self.catalog is not None:
+                    certificate = (
+                        kind(reduced, _copy_node(combined_root))
+                        if success and combined_root is not None
+                        else None
+                    )
+                    self.catalog.put(
+                        reduced,
+                        k,
+                        key[2],
+                        algorithm=decomposer.name,
+                        success=bool(success),
+                        decomposition=certificate,
+                        stats=stats,
+                        wall_seconds=stats.stage_seconds.get("decompose", 0.0),
+                    )
 
         # Stage 4: lift back to the original hypergraph.
         decomposition: Decomposition | None = None

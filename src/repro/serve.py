@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.serve --selftest [--workers 4] [--clients 8] [--json]
+                          [--catalog my.db]
 
 ``--selftest`` hammers a fresh :class:`~repro.service.DecompositionService`
 from several client threads with a duplicate-heavy mix of decomposition and
@@ -18,6 +19,13 @@ query requests, then verifies the serving invariants end to end:
 Exit status 0 means every check passed.  ``--json`` prints the final
 :meth:`~repro.service.DecompositionService.stats` snapshot as JSON for
 scripting; the default output is a human-readable summary.
+
+``--catalog PATH`` opens (or creates) a durable
+:class:`~repro.catalog.DecompositionCatalog` behind the engine's result
+cache: the selftest's decided outcomes are persisted, a second run with the
+same catalog answers them from disk instead of recomputing (the report
+shows the L2 hit/store counters), and the file can be inspected with
+``python -m repro.catalog list PATH``.
 """
 
 from __future__ import annotations
@@ -50,14 +58,26 @@ SELFTEST_INSTANCES = (
 SELFTEST_QUERY = "ans(x, z) :- r(x,y), s(y,z), t(z,x)."
 
 
-def run_selftest(workers: int = 4, clients: int = 8, repeats: int = 3) -> tuple[bool, str, dict]:
-    """Run the concurrent smoke scenario; returns (ok, report text, stats dict)."""
+def run_selftest(
+    workers: int = 4,
+    clients: int = 8,
+    repeats: int = 3,
+    catalog: str | None = None,
+) -> tuple[bool, str, dict]:
+    """Run the concurrent smoke scenario; returns (ok, report text, stats dict).
+
+    ``catalog`` (a path) makes the engine persist decided outcomes to a
+    durable :class:`~repro.catalog.DecompositionCatalog` and serve repeats
+    of previously-seen instances from it across process restarts.
+    """
     instances = [(factory(), k, expect) for factory, k, expect in SELFTEST_INSTANCES]
     query = parse_conjunctive_query(SELFTEST_QUERY, name="selftest")
     database = random_database_for_query(query, domain_size=8, tuples_per_relation=40)
 
     failures: list[str] = []
-    service = DecompositionService(num_workers=workers, engine=DecompositionEngine())
+    service = DecompositionService(
+        num_workers=workers, engine=DecompositionEngine(catalog=catalog)
+    )
     barrier = threading.Barrier(clients)
 
     def client(client_id: int) -> None:
@@ -104,6 +124,10 @@ def run_selftest(workers: int = 4, clients: int = 8, repeats: int = 3) -> tuple[
     # workers may be wedged, and a bounded exit with rc=1 (all threads are
     # daemons) beats hanging the CI job on an unbounded join.
     service.shutdown(wait=not failures, cancel_pending=bool(failures))
+    if service.engine.catalog is not None:
+        # Drain the write-behind queue so the stats snapshot (and any
+        # process started right after us) sees every decided outcome.
+        service.engine.catalog.flush()
 
     stats = service.stats()
     unique_decompositions = len(instances)
@@ -138,6 +162,13 @@ def run_selftest(workers: int = 4, clients: int = 8, repeats: int = 3) -> tuple[
         f"{stats.latency_p95 * 1000:.2f} ms",
         f"  engine cache hit % : {stats.engine_cache.hit_rate * 100:.0f}%",
     ]
+    if stats.catalog is not None:
+        lines.append(
+            f"  catalog (L2)       : {stats.catalog.hits} hits, "
+            f"{stats.catalog.misses} misses, {stats.catalog.stores} stores, "
+            f"{stats.catalog.validate_rejects} validate-rejects"
+            + (" [memory fallback]" if stats.catalog.memory_fallback else "")
+        )
     lines += [f"  FAIL: {failure}" for failure in failures]
     lines.append("  result: " + ("OK" if ok else "FAILED"))
     snapshot = stats.as_dict()
@@ -162,6 +193,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="print the stats snapshot as JSON"
     )
+    parser.add_argument(
+        "--catalog",
+        default=None,
+        metavar="PATH",
+        help="persist decided outcomes to a durable catalog (SQLite) at PATH",
+    )
     return parser
 
 
@@ -173,7 +210,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.print_help()
         return 2
     ok, report, stats = run_selftest(
-        workers=args.workers, clients=args.clients, repeats=args.repeats
+        workers=args.workers,
+        clients=args.clients,
+        repeats=args.repeats,
+        catalog=args.catalog,
     )
     if args.json:
         print(json.dumps(stats, indent=2))

@@ -199,6 +199,10 @@ class ServiceStats:
     result_memo: ShardStats = field(default_factory=ShardStats)
     engine_cache: ShardStats = field(default_factory=ShardStats)
     engine_cache_shards: list[ShardStats] = field(default_factory=list)
+    #: Traffic of the engine's durable L2 tier (``None`` without a catalog):
+    #: a :class:`repro.catalog.CatalogStats` with hit / miss /
+    #: validate-reject / store counters and the memory-fallback flag.
+    catalog: object | None = None
 
     def as_dict(self) -> dict:
         """A JSON-friendly rendering (used by ``python -m repro.serve``)."""
@@ -222,6 +226,7 @@ class ServiceStats:
                 {"hits": s.hits, "misses": s.misses, "hit_rate": s.hit_rate}
                 for s in self.engine_cache_shards
             ],
+            "catalog": self.catalog.as_dict() if self.catalog is not None else None,
         }
 
 
@@ -598,6 +603,9 @@ class DecompositionService:
             stats.engine_cache_shards = cache.shard_statistics()
             for shard in stats.engine_cache_shards:
                 stats.engine_cache.merge(shard)
+        catalog = getattr(self.engine, "catalog", None)
+        if catalog is not None:
+            stats.catalog = catalog.stats()
         return stats
 
     # ------------------------------------------------------------------ #

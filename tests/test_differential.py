@@ -114,19 +114,8 @@ def test_monotonicity_in_k():
 # seeds 5000/5007 instances are the ones on which the pre-fix hybrid (det-k
 # delegation ignoring the allowed-edge set) and log-k-basic (no allowed-edge
 # exclusion at all) used to emit condition-4-violating trees; see ROADMAP.md.
-def _logk_norestrict_flag():
-    # Constructing with the dead flag warns (deprecated since the PR-5 docs
-    # pass); the configuration itself must still emit valid certificates.
-    import warnings
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return LogKDecomposer(use_engine=False, restrict_allowed_edges=False)
-
-
 CERTIFICATE_CONFIGS = {
     "logk": lambda: LogKDecomposer(use_engine=False),
-    "logk-norestrict-flag": _logk_norestrict_flag,
     "logk-nobalance": lambda: LogKDecomposer(use_engine=False, require_balanced=False),
     "logk-basic": lambda: LogKBasicDecomposer(use_engine=False),
     "detk": lambda: DetKDecomposer(use_engine=False),

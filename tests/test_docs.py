@@ -26,6 +26,7 @@ DOC_FILES = sorted(
 
 DOCTEST_MODULES = [
     "repro",
+    "repro.core.codec",
     "repro.lru",
     "repro.pipeline.engine",
     "repro.query.workload",

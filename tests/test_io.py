@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ParseError
-from repro.hypergraph import parse_hypergraph, read_hypergraph, write_hypergraph
+from repro.hypergraph import from_hif, parse_hypergraph, read_hypergraph, to_hif, write_hypergraph
 from repro.hypergraph.io import to_hyperbench_format, to_pace_format
 
 
@@ -119,3 +119,90 @@ def test_parse_accepts_qualified_names():
     h = parse_hypergraph("db.table-1(a,b),\nns:rel(b,c).")
     assert h.num_edges == 2
     assert "db.table-1" in h
+
+
+# --------------------------------------------------------------------------- #
+# HIF (Hypergraph Interchange Format)
+# --------------------------------------------------------------------------- #
+def test_hif_roundtrip(simple_hypergraph):
+    document = to_hif(simple_hypergraph)
+    restored = from_hif(document)
+    assert restored == simple_hypergraph
+    assert restored.canonical_hash() == simple_hypergraph.canonical_hash()
+
+
+def test_hif_roundtrip_through_json_text(simple_hypergraph):
+    import json
+
+    text = json.dumps(to_hif(simple_hypergraph))
+    assert from_hif(text) == simple_hypergraph
+    # parse_hypergraph auto-detects HIF input by its leading brace.
+    assert parse_hypergraph(text) == simple_hypergraph
+
+
+def test_hif_document_shape(simple_hypergraph):
+    document = to_hif(simple_hypergraph)
+    assert document["network-type"] == "undirected"
+    assert {entry["node"] for entry in document["nodes"]} == simple_hypergraph.vertices
+    assert [entry["edge"] for entry in document["edges"]] == list(
+        simple_hypergraph.edge_names
+    )
+    assert len(document["incidences"]) == sum(
+        len(simple_hypergraph.edge_vertices(i))
+        for i in range(simple_hypergraph.num_edges)
+    )
+
+
+def test_hif_metadata_carries_the_name():
+    h = parse_hypergraph("r(x,y),\ns(y,z).", name="named")
+    document = to_hif(h)
+    assert document["metadata"]["name"] == "named"
+    assert from_hif(document).name == "named"
+    assert from_hif(document, name="override").name == "override"
+
+
+def test_hif_edge_order_follows_edges_array():
+    document = {
+        "edges": [{"edge": "b"}, {"edge": "a"}],
+        "incidences": [
+            {"edge": "a", "node": "x"},
+            {"edge": "a", "node": "y"},
+            {"edge": "b", "node": "y"},
+            {"edge": "b", "node": "z"},
+        ],
+    }
+    h = from_hif(document)
+    assert list(h.edge_names) == ["b", "a"]
+
+
+def test_hif_rejects_garbage():
+    with pytest.raises(ParseError):
+        from_hif("not json {")
+    with pytest.raises(ParseError):
+        from_hif("[1, 2, 3]")
+    with pytest.raises(ParseError):
+        from_hif({"nodes": []})  # missing incidences
+    with pytest.raises(ParseError):
+        from_hif({"incidences": [{"edge": "e"}]})  # incidence without node
+    with pytest.raises(ParseError):
+        from_hif({"incidences": []})  # no edges at all
+
+
+def test_hif_rejects_edges_without_incidences():
+    with pytest.raises(ParseError, match="without incidences"):
+        from_hif(
+            {
+                "edges": [{"edge": "e1"}, {"edge": "empty"}],
+                "incidences": [{"edge": "e1", "node": "x"}],
+            }
+        )
+
+
+def test_hif_rejects_isolated_nodes():
+    with pytest.raises(ParseError, match="isolated"):
+        from_hif(
+            {
+                "nodes": [{"node": "x"}, {"node": "lonely"}],
+                "incidences": [{"edge": "e1", "node": "x"}],
+            }
+        )

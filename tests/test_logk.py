@@ -82,41 +82,30 @@ def test_recursion_depth_is_logarithmic():
         )
 
 
-def test_restrict_allowed_edges_false_warns_deprecated():
-    # The flag is accepted but ignored since the PR-4 condition-4 fix (see
-    # ROADMAP.md): constructing with False must say so loudly, and the
-    # restriction must stay applied regardless.
-    with pytest.warns(DeprecationWarning, match="restrict_allowed_edges"):
-        decomposer = LogKDecomposer(restrict_allowed_edges=False)
-    result = decomposer.decompose(generators.cycle(6), 2)
+def test_restrict_allowed_edges_flag_is_gone():
+    # The flag was deprecated-and-ignored in PR 5 (the allowed-edge
+    # restriction is correctness-relevant, see ROADMAP.md) and has now been
+    # removed: constructing with it must fail loudly rather than silently
+    # accept a setting that never did anything.
+    from repro.core import HybridDecomposer
+
+    with pytest.raises(TypeError, match="restrict_allowed_edges"):
+        LogKDecomposer(restrict_allowed_edges=False)
+    with pytest.raises(TypeError, match="restrict_allowed_edges"):
+        HybridDecomposer(restrict_allowed_edges=False)
+
+    # ... and the restriction itself is, as ever, always applied.
+    result = LogKDecomposer().decompose(generators.cycle(6), 2)
     assert result.success
     validate_hd(result.decomposition)
 
-    from repro.core import HybridDecomposer
-
-    with pytest.warns(DeprecationWarning, match="correctness-relevant"):
-        HybridDecomposer(restrict_allowed_edges=False)
-
-    # The supported spelling stays silent.
-    import warnings
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        LogKDecomposer(restrict_allowed_edges=True)
-        LogKDecomposer()
-
 
 def test_optimisation_flags_do_not_change_answers(cycle6, grid23):
-    import warnings
-
     variants = [
         LogKDecomposer(negative_base_case=False),
         LogKDecomposer(parent_overlap_pruning=False),
         LogKDecomposer(require_balanced=False),
     ]
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        variants.append(LogKDecomposer(restrict_allowed_edges=False))
     for hypergraph in (cycle6, grid23):
         reference = LogKDecomposer().decompose(hypergraph, 2).success
         for variant in variants:
