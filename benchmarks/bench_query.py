@@ -27,11 +27,14 @@ from __future__ import annotations
 import os
 import time
 
+from itertools import compress
+
 from conftest import write_result
 
 from repro.hypergraph.cq import parse_conjunctive_query
 from repro.pipeline.engine import DecompositionEngine, set_default_engine
 from repro.query import QueryEngine, evaluate_query, random_database_for_query
+from repro.query.columnar import ColumnarRelation, _NodeState
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 TUPLES = {"tiny": 1500, "small": 3000, "medium": 6000}.get(SCALE, 1500)
@@ -101,6 +104,59 @@ def test_workload_columnar_warm(benchmark):
     )
     assert all(result.plan_cached for result in results)
     assert any(result.execution.statistics.bags_reused for result in results)
+
+
+# --------------------------------------------------------------------------- #
+# the semijoin kernel pair: bytearray row flips vs. packed alive bitmask
+# --------------------------------------------------------------------------- #
+_SEMI_ROWS = {"tiny": 20_000, "small": 40_000, "medium": 80_000}.get(SCALE, 20_000)
+_SEMI_TABLE = ColumnarRelation.from_rows(
+    ("a", "b"), {(i % 997, i) for i in range(_SEMI_ROWS)}
+)
+# Source keys keep roughly half of the 997 key groups alive.
+_SEMI_KEYS = {key for key in range(997) if key % 2 == 0}
+
+
+def _semijoin_reference(table: ColumnarRelation, source_keys: set) -> int:
+    """The pre-bitmask semijoin kernel (PR 4): per-row bytearray flips."""
+    index = table.index_on(("a",))
+    alive = bytearray(b"\x01") * table.nrows
+    removed = 0
+    for key, row_ids in index.items():
+        if key not in source_keys:
+            for row_id in row_ids:
+                if alive[row_id]:
+                    alive[row_id] = 0
+                    removed += 1
+    survivors = table.nrows - removed
+    # Consume the mask the way the join stage does, so both arms pay their
+    # full cost: compact one column through the selector mask.
+    compacted = list(compress(table.column("b"), alive))
+    assert len(compacted) == survivors
+    return survivors
+
+
+def _semijoin_bitmask(table: ColumnarRelation, source_keys: set) -> int:
+    """The bitmask semijoin kernel: OR dead key-group masks, one AND-NOT."""
+    state = _NodeState(table)
+    dead = 0
+    for key, mask in table.key_masks(("a",)).items():
+        if key not in source_keys:
+            dead |= mask
+    state.kill(dead)
+    compacted = list(compress(table.column("b"), state.selectors()))
+    assert len(compacted) == state.live_count
+    return state.live_count
+
+
+def test_semijoin_kernel_bitmask_new(benchmark):
+    survivors = benchmark(lambda: _semijoin_bitmask(_SEMI_TABLE, _SEMI_KEYS))
+    assert survivors == _semijoin_reference(_SEMI_TABLE, _SEMI_KEYS)
+    assert 0 < survivors < _SEMI_TABLE.nrows
+
+
+def test_semijoin_kernel_bytearray_reference(benchmark):
+    benchmark(lambda: _semijoin_reference(_SEMI_TABLE, _SEMI_KEYS))
 
 
 def test_columnar_speedup_summary():

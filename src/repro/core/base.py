@@ -57,6 +57,11 @@ class SearchStatistics:
     enum_domination_skips: int = 0
     splitter_memo_hits: int = 0
     splitter_memo_misses: int = 0
+    #: Bitset-kernel counters (PR 7): lazy vertex→edge incidence mask-table
+    #: builds triggered by a splitter, and hits on the packed-key memos
+    #: (dominated candidate pools, per-component splitter reuse).
+    mask_table_builds: int = 0
+    bitset_memo_hits: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record_call(self, depth: int) -> None:
@@ -81,6 +86,8 @@ class SearchStatistics:
         self.enum_domination_skips += other.enum_domination_skips
         self.splitter_memo_hits += other.splitter_memo_hits
         self.splitter_memo_misses += other.splitter_memo_misses
+        self.mask_table_builds += other.mask_table_builds
+        self.bitset_memo_hits += other.bitset_memo_hits
         for stage, seconds in other.stage_seconds.items():
             self.record_stage(stage, seconds)
 
@@ -92,6 +99,8 @@ class SearchStatistics:
             "enum_domination_skips": self.enum_domination_skips,
             "splitter_memo_hits": self.splitter_memo_hits,
             "splitter_memo_misses": self.splitter_memo_misses,
+            "mask_table_builds": self.mask_table_builds,
+            "bitset_memo_hits": self.bitset_memo_hits,
         }
 
 

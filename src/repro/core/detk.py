@@ -16,9 +16,12 @@ this engine (Section 5.2 and Appendix D.2).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from ..decomp.components import ComponentSplitter
 from ..decomp.decomposition import HypertreeDecomposition
-from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..decomp.extended import BitComp, Comp, FragmentNode, full_bitcomp
+from ..hypergraph.bitset import from_indices, indices_of
 from .base import Decomposer, SearchContext
 from .fragments import fragment_to_decomposition, special_leaf
 
@@ -45,7 +48,7 @@ class DetKSearch:
         self.label_pruning = label_pruning
         self.subedge_domination = subedge_domination and label_pruning
         self._cache: dict[
-            tuple[frozenset[int], tuple[int, ...], int, frozenset[int] | None],
+            tuple[int, tuple[int, ...], int, int | None],
             FragmentNode | None,
         ] = {}
 
@@ -54,22 +57,33 @@ class DetKSearch:
     # ------------------------------------------------------------------ #
     def search(
         self,
-        comp: Comp,
+        comp: Comp | BitComp,
         conn: int,
         depth: int = 1,
-        allowed: frozenset[int] | None = None,
+        allowed: Iterable[int] | int | None = None,
     ) -> FragmentNode | None:
         """Return an HD fragment of width <= k for ⟨comp, conn⟩, or ``None``.
 
-        ``allowed`` restricts the λ-label pool to the given edge indices
-        (``None`` = all host edges).  When the search runs as the leaf engine
-        of the hybrid decomposer it *must* receive log-k-decomp's allowed set
-        of the current subproblem: the fragment produced here can end up above
-        a stitched separator node, and a λ-label using an edge of the
-        component below the separator would put vertices of that component
-        into ∪λ(u) without them being in χ(u) — breaking HD condition 4 on
-        the stitched tree even though the fragment is locally consistent.
+        ``comp`` may be the public :class:`Comp` or the packed
+        :class:`BitComp`; ``allowed`` restricts the λ-label pool to the given
+        edge indices — an iterable or an edge-index bitmask (``None`` = all
+        host edges).  When the search runs as the leaf engine of the hybrid
+        decomposer it *must* receive log-k-decomp's allowed set of the
+        current subproblem: the fragment produced here can end up above a
+        stitched separator node, and a λ-label using an edge of the component
+        below the separator would put vertices of that component into ∪λ(u)
+        without them being in χ(u) — breaking HD condition 4 on the stitched
+        tree even though the fragment is locally consistent.
         """
+        if isinstance(comp, Comp):
+            comp = BitComp.from_comp(comp)
+        if allowed is not None and not isinstance(allowed, int):
+            allowed = from_indices(allowed)
+        return self._search(comp, conn, depth, allowed)
+
+    def _search(
+        self, comp: BitComp, conn: int, depth: int, allowed: int | None
+    ) -> FragmentNode | None:
         context = self.context
         context.stats.record_call(depth)
         context.check_timeout()
@@ -97,10 +111,10 @@ class DetKSearch:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _base_case(self, comp: Comp, conn: int) -> FragmentNode | None:
+    def _base_case(self, comp: BitComp, conn: int) -> FragmentNode | None:
         host, k = self.context.host, self.context.k
-        if len(comp.edges) <= k and not comp.specials:
-            lam = tuple(sorted(comp.edges))
+        if not comp.specials and comp.edges.bit_count() <= k:
+            lam = tuple(indices_of(comp.edges))
             chi = host.edges_to_mask(lam)
             return FragmentNode(chi=chi, lam_edges=lam)
         if not comp.edges and len(comp.specials) == 1:
@@ -112,7 +126,7 @@ class DetKSearch:
         return _NO_BASE_CASE  # type: ignore[return-value]
 
     def _expand(
-        self, comp: Comp, conn: int, depth: int, allowed: frozenset[int] | None
+        self, comp: BitComp, conn: int, depth: int, allowed: int | None
     ) -> FragmentNode | None:
         context = self.context
         host = context.host
@@ -133,12 +147,12 @@ class DetKSearch:
                 # conn ⊆ ∪λ is guaranteed by the enumerator; conn ⊆ V(comp)
                 # by Claim A, so this only triggers for inconsistent input.
                 continue
-            sub_components = splitter.split(chi)
+            sub_components = splitter.split_bits(chi)
             children: list[FragmentNode] = []
             failed = False
             for sub in sub_components:
                 sub_conn = sub.vertices(host) & chi
-                child = self.search(sub, sub_conn, depth + 1, allowed)
+                child = self._search(sub, sub_conn, depth + 1, allowed)
                 if child is None:
                     failed = True
                     break
@@ -180,7 +194,7 @@ class DetKDecomposer(Decomposer):
             label_pruning=self.label_pruning,
             subedge_domination=self.subedge_domination,
         )
-        fragment = search.search(full_comp(context.host), conn=0)
+        fragment = search.search(full_bitcomp(context.host), conn=0)
         if fragment is None:
             return None
         return fragment_to_decomposition(context.host, fragment)

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..decomp.decomposition import HypertreeDecomposition
-from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..decomp.extended import BitComp, Comp, FragmentNode, full_bitcomp
 from ..exceptions import SolverError
 from ..hypergraph import Hypergraph
+from ..hypergraph.bitset import indices_of
 from .base import Decomposer, SearchContext
 from .detk import DetKSearch
 from .fragments import fragment_to_decomposition
@@ -37,13 +38,22 @@ __all__ = [
 ]
 
 
+def _edge_indices(comp: Comp | BitComp) -> list[int] | frozenset[int]:
+    """Edge indices of a component in either representation."""
+    return indices_of(comp.edges) if isinstance(comp.edges, int) else comp.edges
+
+
 @dataclass(frozen=True)
 class SwitchMetric:
-    """Base class of hybridisation metrics; subclasses implement ``value``."""
+    """Base class of hybridisation metrics; subclasses implement ``value``.
+
+    Metrics accept both the public :class:`Comp` and the packed
+    :class:`BitComp` — the search hands them the packed form.
+    """
 
     name: str = "abstract"
 
-    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
+    def value(self, host: Hypergraph, comp: Comp | BitComp, k: int) -> float:
         """Complexity estimate of the subproblem ``comp``."""
         raise NotImplementedError
 
@@ -54,8 +64,9 @@ class EdgeCountMetric(SwitchMetric):
 
     name: str = "EdgeCount"
 
-    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
-        return float(len(comp.edges))
+    def value(self, host: Hypergraph, comp: Comp | BitComp, k: int) -> float:
+        edges = comp.edges
+        return float(edges.bit_count() if isinstance(edges, int) else len(edges))
 
 
 @dataclass(frozen=True)
@@ -69,12 +80,14 @@ class WeightedCountMetric(SwitchMetric):
 
     name: str = "WeightedCount"
 
-    def value(self, host: Hypergraph, comp: Comp, k: int) -> float:
+    def value(self, host: Hypergraph, comp: Comp | BitComp, k: int) -> float:
         if not comp.edges:
             return 0.0
-        total_size = sum(host.edge_bits(i).bit_count() for i in comp.edges)
-        average = total_size / len(comp.edges)
-        return len(comp.edges) * k / average
+        indices = _edge_indices(comp)
+        total_size = sum(host.edge_bits(i).bit_count() for i in indices)
+        count = len(indices)
+        average = total_size / count
+        return count * k / average
 
 
 def make_metric(name: str) -> SwitchMetric:
@@ -135,11 +148,11 @@ class HybridDecomposer(Decomposer):
         )
 
         def delegate(
-            comp: Comp, conn: int, depth: int, allowed: frozenset[int]
+            comp: BitComp, conn: int, depth: int, allowed: int
         ) -> FragmentNode | None:
             return detk.search(comp, conn, depth, allowed=allowed)
 
-        def should_delegate(comp: Comp) -> bool:
+        def should_delegate(comp: BitComp) -> bool:
             return self.metric.value(context.host, comp, context.k) < self.threshold
 
         search = LogKSearch(
@@ -151,6 +164,5 @@ class HybridDecomposer(Decomposer):
             leaf_delegate=delegate,
             delegate_predicate=should_delegate,
         )
-        comp = full_comp(context.host)
-        allowed = frozenset(range(context.host.num_edges))
-        return search.search(comp, conn=0, allowed=allowed)
+        comp = full_bitcomp(context.host)
+        return search.search(comp, conn=0, allowed=context.host.all_edges_mask)

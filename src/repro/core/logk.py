@@ -41,17 +41,20 @@ from collections.abc import Callable, Iterable
 
 from ..decomp.components import ComponentSplitter
 from ..decomp.covers import label_union
+from ..hypergraph.bitset import from_indices, indices_of
 from ..lru import BoundedLRU
 from ..decomp.decomposition import HypertreeDecomposition
-from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..decomp.extended import BitComp, Comp, FragmentNode, full_bitcomp
 from .base import Decomposer, SearchContext
 from .fragments import fragment_to_decomposition, replace_special_leaf, special_leaf
 
 __all__ = ["LogKSearch", "LogKDecomposer"]
 
 
-LeafDelegate = Callable[[Comp, int, int, frozenset[int]], FragmentNode | None]
-DelegatePredicate = Callable[[Comp], bool]
+#: The delegate receives the packed subproblem: a :class:`BitComp`, the Conn
+#: vertex bitmask, the recursion depth and the allowed-edge *index* bitmask.
+LeafDelegate = Callable[[BitComp, int, int, int], FragmentNode | None]
+DelegatePredicate = Callable[[BitComp], bool]
 
 
 class LogKSearch:
@@ -89,9 +92,11 @@ class LogKSearch:
         # outcome (keyed by the component, Conn and the allowed-edge set)
         # avoids re-solving it.  This mirrors the caching of the reference
         # implementation's subedge/component handling and never changes
-        # answers, only the amount of work.
+        # answers, only the amount of work.  All key parts are packed ints
+        # (edge bitmask, specials tuple, conn mask, allowed mask), so hashing
+        # a key is flat integer hashing rather than frozenset hashing.
         self._cache: dict[
-            tuple[frozenset[int], tuple[int, ...], int, frozenset[int]],
+            tuple[int, tuple[int, ...], int, int],
             FragmentNode | None,
         ] = {}
         # Memoised splitters for the inner comp_down splits of the parent
@@ -99,21 +104,41 @@ class LogKSearch:
         # splitter then serves the [χ(c)]-splits of every paired child label.
         self._splitters: BoundedLRU = BoundedLRU(256)
 
-    def _splitter_for(self, comp: Comp) -> ComponentSplitter:
+    def _splitter_for(self, comp: BitComp) -> ComponentSplitter:
         key = (comp.edges, comp.specials)
         splitter = self._splitters.get(key)
         if splitter is None:
             splitter = ComponentSplitter(self.context.host, comp, stats=self.context.stats)
             self._splitters.put(key, splitter)
+        elif self.context.stats is not None:
+            self.context.stats.bitset_memo_hits += 1
         return splitter
 
     # ------------------------------------------------------------------ #
     # public entry point
     # ------------------------------------------------------------------ #
     def search(
-        self, comp: Comp, conn: int, allowed: frozenset[int], depth: int = 1
+        self,
+        comp: Comp | BitComp,
+        conn: int,
+        allowed: Iterable[int] | int,
+        depth: int = 1,
     ) -> FragmentNode | None:
-        """Decomp(H', Conn, A): an HD fragment of width <= k, or ``None``."""
+        """Decomp(H', Conn, A): an HD fragment of width <= k, or ``None``.
+
+        ``comp`` may be the public :class:`Comp` or the packed
+        :class:`BitComp`; ``allowed`` an iterable of edge indices or an
+        edge-index bitmask.  The recursion runs entirely on the packed forms.
+        """
+        if isinstance(comp, Comp):
+            comp = BitComp.from_comp(comp)
+        if not isinstance(allowed, int):
+            allowed = from_indices(allowed)
+        return self._search(comp, conn, allowed, depth)
+
+    def _search(
+        self, comp: BitComp, conn: int, allowed: int, depth: int
+    ) -> FragmentNode | None:
         context = self.context
         context.stats.record_call(depth)
         context.check_timeout()
@@ -133,14 +158,14 @@ class LogKSearch:
         return result
 
     def _search_uncached(
-        self, comp: Comp, conn: int, allowed: frozenset[int], depth: int
+        self, comp: BitComp, conn: int, allowed: int, depth: int
     ) -> FragmentNode | None:
         context = self.context
         host, k = context.host, context.k
 
         # ----- base cases (lines 5-10) --------------------------------- #
-        if len(comp.edges) <= k and not comp.specials:
-            lam = tuple(sorted(comp.edges))
+        if not comp.specials and comp.edges.bit_count() <= k:
+            lam = tuple(indices_of(comp.edges))
             return FragmentNode(chi=host.edges_to_mask(lam), lam_edges=lam)
         if not comp.edges and len(comp.specials) == 1:
             return special_leaf(comp.specials[0])
@@ -183,9 +208,10 @@ class LogKSearch:
 
             if conn & ~lam_c_union == 0:
                 # ----- c is the root of the fragment (lines 15-21) ----- #
-                comps_c = splitter.split(lam_c_union)
+                comps_c = splitter.split_bits(lam_c_union)
                 fragment = self._try_root(
-                    comp, lam_c, lam_c_union, comps_c, allowed_pool, depth
+                    comp, lam_c, lam_c_union, comps_c, comp_vertices,
+                    allowed_pool, depth,
                 )
                 if fragment is not None:
                     return fragment
@@ -205,7 +231,7 @@ class LogKSearch:
     # pieces of the search
     # ------------------------------------------------------------------ #
     def _child_labels(
-        self, comp: Comp, allowed_pool: frozenset[int], comp_vertices: int, depth: int
+        self, comp: BitComp, allowed_pool: int, comp_vertices: int, depth: int
     ) -> Iterable[tuple[int, ...]]:
         enumerator = self.context.enumerator
         domination = comp_vertices if self.subedge_domination else None
@@ -226,20 +252,21 @@ class LogKSearch:
 
     def _try_root(
         self,
-        comp: Comp,
+        comp: BitComp,
         lam_c: tuple[int, ...],
         lam_c_union: int,
-        comps_c: list[Comp],
-        allowed_pool: frozenset[int],
+        comps_c: list[BitComp],
+        comp_vertices: int,
+        allowed_pool: int,
         depth: int,
     ) -> FragmentNode | None:
         """Lines 15-21: the child label covers Conn, so c roots the fragment."""
         host = self.context.host
-        chi_c = lam_c_union & comp.vertices(host)
+        chi_c = lam_c_union & comp_vertices
         children: list[FragmentNode] = []
         for sub in comps_c:
             sub_conn = sub.vertices(host) & chi_c
-            child = self.search(sub, sub_conn, allowed_pool, depth + 1)
+            child = self._search(sub, sub_conn, allowed_pool, depth + 1)
             if child is None:
                 return None
             children.append(child)
@@ -250,12 +277,12 @@ class LogKSearch:
 
     def _try_parents(
         self,
-        comp: Comp,
+        comp: BitComp,
         conn: int,
         lam_c: tuple[int, ...],
         lam_c_union: int,
         comp_vertices: int,
-        allowed_pool: frozenset[int],
+        allowed_pool: int,
         depth: int,
         splitter: ComponentSplitter | None = None,
     ) -> FragmentNode | None:
@@ -282,7 +309,7 @@ class LogKSearch:
             context.check_timeout()
             lam_p_union = label_union(host, lam_p)
 
-            comps_p = splitter.split(lam_p_union)
+            comps_p = splitter.split_bits(lam_p_union)
             comp_down = next((c for c in comps_p if c.size > half), None)
             if comp_down is None:
                 continue
@@ -294,12 +321,12 @@ class LogKSearch:
             if down_vertices & lam_p_union & ~chi_c:
                 continue  # connectedness check, line 31
 
-            sub_components = self._splitter_for(comp_down).split(chi_c)
+            sub_components = self._splitter_for(comp_down).split_bits(chi_c)
             children: list[FragmentNode] = []
             failed = False
             for sub in sub_components:
                 sub_conn = sub.vertices(host) & chi_c
-                child = self.search(sub, sub_conn, allowed_pool, depth + 1)
+                child = self._search(sub, sub_conn, allowed_pool, depth + 1)
                 if child is None:
                     failed = True
                     break
@@ -308,8 +335,8 @@ class LogKSearch:
                 continue
 
             comp_up = comp.difference(comp_down).with_special(chi_c)
-            allowed_up = allowed_pool - comp_down.edges
-            up = self.search(comp_up, conn, allowed_up, depth + 1)
+            allowed_up = allowed_pool & ~comp_down.edges
+            up = self._search(comp_up, conn, allowed_up, depth + 1)
             if up is None:
                 continue
 
@@ -358,9 +385,8 @@ class LogKDecomposer(Decomposer):
 
     def _run(self, context: SearchContext) -> HypertreeDecomposition | None:
         search = self._make_search(context)
-        comp = full_comp(context.host)
-        allowed = frozenset(range(context.host.num_edges))
-        fragment = search.search(comp, conn=0, allowed=allowed)
+        comp = full_bitcomp(context.host)
+        fragment = search.search(comp, conn=0, allowed=context.host.all_edges_mask)
         if fragment is None:
             return None
         return fragment_to_decomposition(context.host, fragment)

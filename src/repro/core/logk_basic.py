@@ -25,10 +25,13 @@ condition 4 and therefore never need them.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from ..decomp.components import ComponentSplitter
 from ..decomp.covers import label_union
 from ..decomp.decomposition import HypertreeDecomposition
-from ..decomp.extended import Comp, FragmentNode, full_comp
+from ..decomp.extended import BitComp, Comp, FragmentNode, full_bitcomp
+from ..hypergraph.bitset import from_indices, indices_of
 from .base import Decomposer, SearchContext
 from .fragments import fragment_to_decomposition, replace_special_leaf, special_leaf
 
@@ -48,13 +51,13 @@ class LogKBasicSearch:
         """Search for an HD of the whole hypergraph; return its fragment tree."""
         context = self.context
         host = context.host
-        whole = full_comp(host)
+        whole = full_bitcomp(host)
         splitter = ComponentSplitter(host, whole, stats=context.stats)
         for lam_r in context.enumerator.labels():
             context.stats.labels_tried += 1
             context.check_timeout()
             lam_r_union = label_union(host, lam_r)
-            comps_r = splitter.split(lam_r_union)
+            comps_r = splitter.split_bits(lam_r_union)
             children: list[FragmentNode] = []
             rejected = False
             for component in comps_r:
@@ -74,16 +77,24 @@ class LogKBasicSearch:
     # function Decomp (lines 11-40)
     # ------------------------------------------------------------------ #
     def decomp(
-        self, comp: Comp, conn: int, depth: int, excluded: frozenset[int] = frozenset()
+        self,
+        comp: Comp | BitComp,
+        conn: int,
+        depth: int,
+        excluded: Iterable[int] | int = 0,
     ) -> FragmentNode | None:
         context = self.context
         context.stats.record_call(depth)
         context.check_timeout()
         host, k = context.host, context.k
+        if isinstance(comp, Comp):
+            comp = BitComp.from_comp(comp)
+        if not isinstance(excluded, int):
+            excluded = from_indices(excluded)
 
         # Base cases (lines 12-15).
-        if len(comp.edges) <= k and not comp.specials:
-            lam = tuple(sorted(comp.edges))
+        if not comp.specials and comp.edges.bit_count() <= k:
+            lam = tuple(indices_of(comp.edges))
             return FragmentNode(chi=host.edges_to_mask(lam), lam_edges=lam)
         if not comp.edges and len(comp.specials) == 1:
             return special_leaf(comp.specials[0])
@@ -92,14 +103,14 @@ class LogKBasicSearch:
         splitter = ComponentSplitter(host, comp, stats=context.stats)
         # Edges below enclosing stitch points must stay out of every λ-label
         # of this fragment (condition 4 on the stitched tree, see module docs).
-        pool = frozenset(range(host.num_edges)) - excluded
+        pool = host.all_edges_mask & ~excluded
 
         # ParentLoop (lines 16-39).
         for lam_p in context.enumerator.labels(allowed=pool):
             context.stats.labels_tried += 1
             context.check_timeout()
             lam_p_union = label_union(host, lam_p)
-            comps_p = splitter.split(lam_p_union)
+            comps_p = splitter.split_bits(lam_p_union)
             comp_down = next((c for c in comps_p if c.size > half), None)
             if comp_down is None:
                 continue
@@ -118,7 +129,7 @@ class LogKBasicSearch:
                     continue  # connectedness check, line 26
                 if splitter_down.largest_size(chi_c) > half:
                     continue  # balancedness check, line 29
-                sub_components = splitter_down.split(chi_c)
+                sub_components = splitter_down.split_bits(chi_c)
 
                 children: list[FragmentNode] = []
                 failed = False

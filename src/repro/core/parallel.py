@@ -31,7 +31,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from ..decomp.covers import CoverEnumerator
-from ..decomp.extended import FragmentNode, full_comp
+from ..decomp.extended import FragmentNode, full_bitcomp
 from ..exceptions import SolverError
 from ..hypergraph import Hypergraph
 from .base import Decomposer, DecompositionResult, SearchContext, SearchStatistics
@@ -117,7 +117,7 @@ def _worker_search(
     )
     try:
         fragment = search.search(
-            full_comp(host), conn=0, allowed=frozenset(range(host.num_edges))
+            full_bitcomp(host), conn=0, allowed=host.all_edges_mask
         )
     except Exception:  # TimeoutExceeded or unexpected failure in the worker
         return True, False, None, context.stats

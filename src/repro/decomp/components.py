@@ -8,14 +8,20 @@ are fully contained in U belong to no component (they are "covered" by U).
 The splitter is built for the search hot path, where the *same* component is
 split against thousands of candidate separators:
 
-* a vertex → items incidence index is computed once per splitter, so each
-  split is a flood fill over exactly the vertices outside the separator
-  instead of a per-item bit scan rebuilt from scratch;
+* the fill is pure bit-twiddling over the host's vertex → edge-index
+  incidence-mask table (:meth:`~repro.hypergraph.Hypergraph.incidence_masks`,
+  built once per hypergraph): the unvisited edge set, each discovered group
+  and the vertex frontier are all packed ints, so expanding a frontier vertex
+  is a single ``&`` instead of a walk over adjacency lists;
 * results are memoised under the *effective* separator
   ``separator & V(comp)`` — λ-labels with equal restriction to the component
   (extremely common in the parent-label loop) share one split;
 * :meth:`ComponentSplitter.largest_size` stops early once the remaining
-  unprocessed items cannot beat the largest component found so far.
+  unprocessed items cannot beat the largest component found so far;
+* :meth:`ComponentSplitter.split_bits` hands the groups to the searches as
+  :class:`~repro.decomp.extended.BitComp` records (no frozenset is ever
+  built on the hot path); :meth:`ComponentSplitter.split` remains the public
+  :class:`Comp`-based view.
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from ..hypergraph import Hypergraph
+from ..hypergraph.bitset import bits_of
 from ..lru import BoundedLRU
-from .extended import Comp
+from .extended import BitComp, Comp
 
 __all__ = [
     "ComponentSplitter",
@@ -45,26 +52,29 @@ class ComponentSplitter:
 
     The separator searches of log-k-decomp and det-k-decomp compute the
     [U]-components of the *same* extended subhypergraph for thousands of
-    candidate separators U.  This helper precomputes the per-item vertex
-    bitmasks and a vertex incidence index once and offers two operations:
+    candidate separators U.  This helper works on the packed representation
+    (edge-index bitmask + special vertex masks, accepting either a
+    :class:`Comp` or a :class:`BitComp`) and offers three operations:
 
     * :meth:`largest_size` — only the size of the largest component (the
       balancedness filter), without allocating component objects;
-    * :meth:`split` — the full list of components (Definition 3.2).
+    * :meth:`split_bits` — the components as :class:`BitComp` records (the
+      searches' representation);
+    * :meth:`split` — the components as public :class:`Comp` values.
 
-    Both are memoised (LRU, keyed by the effective separator) unless
+    All are memoised (LRU, keyed by the effective separator) unless
     ``memoize=False``; ``stats`` may be a
-    :class:`~repro.core.base.SearchStatistics` recording memo hits/misses.
+    :class:`~repro.core.base.SearchStatistics` recording memo hits/misses and
+    incidence mask-table builds.
     """
 
     __slots__ = (
         "host",
         "comp",
         "stats",
-        "_edge_items",
-        "_special_items",
-        "_bits",
-        "_num_edges",
+        "_edges_mask",
+        "_special_bits",
+        "_all_specials_mask",
         "_comp_vertices",
         "_incidence",
         "_memoize",
@@ -75,32 +85,32 @@ class ComponentSplitter:
     def __init__(
         self,
         host: Hypergraph,
-        comp: Comp,
+        comp: Comp | BitComp,
         memoize: bool = True,
         stats=None,
         memo_size: int = DEFAULT_MEMO_SIZE,
     ) -> None:
         self.host = host
+        if isinstance(comp, Comp):
+            comp = BitComp.from_comp(comp)
         self.comp = comp
         self.stats = stats
-        self._edge_items = sorted(comp.edges)
-        self._special_items = list(comp.specials)
-        self._bits = [host.edge_bits(i) for i in self._edge_items] + self._special_items
-        self._num_edges = len(self._edge_items)
+        self._edges_mask = comp.edges
+        self._special_bits = comp.specials
+        self._all_specials_mask = (1 << len(comp.specials)) - 1
+        if stats is not None and not host.has_incidence_masks:
+            stats.mask_table_builds += 1
+        self._incidence = host.incidence_masks()
         comp_vertices = 0
-        for bits in self._bits:
-            comp_vertices |= bits
+        edge_bits = host.edge_bits
+        rest = comp.edges
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            comp_vertices |= edge_bits(low.bit_length() - 1)
+        for special in comp.specials:
+            comp_vertices |= special
         self._comp_vertices = comp_vertices
-        # Vertex id -> item ids containing it, built once; every split walks
-        # this index instead of re-deriving residues for all items.
-        incidence: dict[int, list[int]] = {}
-        for item, bits in enumerate(self._bits):
-            rest = bits
-            while rest:
-                low = rest & -rest
-                rest ^= low
-                incidence.setdefault(low.bit_length() - 1, []).append(item)
-        self._incidence = incidence
         self._memoize = memoize
         self._split_memo: BoundedLRU = BoundedLRU(memo_size)
         self._largest_memo: BoundedLRU = BoundedLRU(memo_size)
@@ -111,71 +121,106 @@ class ComponentSplitter:
         return self._comp_vertices
 
     # ------------------------------------------------------------------ #
-    # flood fill over the incidence index
+    # flood fill over the incidence-mask table
     # ------------------------------------------------------------------ #
-    def _flood(self, effective: int, stop_when_decided: bool = False) -> list[list[int]]:
-        """Item-id groups of the [effective]-components, in discovery order.
+    def _flood(
+        self, effective: int, stop_when_decided: bool = False
+    ) -> list[tuple[int, int]]:
+        """The [effective]-components as ``(edge_mask, special_mask)`` pairs.
 
-        With ``stop_when_decided`` the fill returns early once the unvisited
+        ``edge_mask`` is over host edge indices, ``special_mask`` over the
+        positions of this component's specials tuple.  With
+        ``stop_when_decided`` the fill returns early once the unvisited
         remainder cannot contain a component larger than the largest found so
         far — only :meth:`largest_size` may use that mode, the returned
         grouping is incomplete.
         """
-        bits = self._bits
+        host_edge_bits = self.host.edge_bits
         incidence = self._incidence
-        total = len(bits)
-        visited = bytearray(total)
-        groups: list[list[int]] = []
-        remaining = total
+        specials = self._special_bits
+        unvisited = self._edges_mask
+        unvisited_sp = self._all_specials_mask
+        groups: list[tuple[int, int]] = []
         largest = 0
-        for start in range(total):
-            if visited[start]:
-                continue
-            visited[start] = 1
-            remaining -= 1
-            frontier = bits[start] & ~effective
+        while unvisited or unvisited_sp:
+            # Start a new group at the lowest unvisited item (edges first,
+            # matching the deterministic item order of the set-based fill).
+            if unvisited:
+                start_bit = unvisited & -unvisited
+                unvisited ^= start_bit
+                start_vertices = host_edge_bits(start_bit.bit_length() - 1)
+                member_edges, member_sp = start_bit, 0
+            else:
+                start_bit = unvisited_sp & -unvisited_sp
+                unvisited_sp ^= start_bit
+                start_vertices = specials[start_bit.bit_length() - 1]
+                member_edges, member_sp = 0, start_bit
+            frontier = start_vertices & ~effective
             if frontier == 0:
                 continue  # fully covered by the separator: in no component
-            members = [start]
             seen = frontier
-            while frontier:
-                low = frontier & -frontier
-                frontier ^= low
-                for item in incidence[low.bit_length() - 1]:
-                    if visited[item]:
-                        continue
-                    visited[item] = 1
-                    remaining -= 1
-                    members.append(item)
-                    new = bits[item] & ~effective & ~seen
-                    seen |= new
-                    frontier |= new
-            groups.append(members)
+            while True:
+                while frontier:
+                    low = frontier & -frontier
+                    frontier ^= low
+                    new_edges = incidence[low.bit_length() - 1] & unvisited
+                    if new_edges:
+                        unvisited &= ~new_edges
+                        member_edges |= new_edges
+                        rest = new_edges
+                        while rest:
+                            edge_bit = rest & -rest
+                            rest ^= edge_bit
+                            grow = (
+                                host_edge_bits(edge_bit.bit_length() - 1)
+                                & ~effective
+                                & ~seen
+                            )
+                            seen |= grow
+                            frontier |= grow
+                # Specials sharing a live vertex with the group join it (and
+                # may extend the frontier); loop until no special is absorbed.
+                if not unvisited_sp:
+                    break
+                absorbed = False
+                rest = unvisited_sp
+                while rest:
+                    sp_bit = rest & -rest
+                    rest ^= sp_bit
+                    sp_vertices = specials[sp_bit.bit_length() - 1]
+                    if sp_vertices & seen:
+                        unvisited_sp ^= sp_bit
+                        member_sp |= sp_bit
+                        grow = sp_vertices & ~effective & ~seen
+                        if grow:
+                            seen |= grow
+                            frontier |= grow
+                            absorbed = True
+                if not (absorbed and frontier):
+                    break
+            groups.append((member_edges, member_sp))
             if stop_when_decided:
-                if len(members) > largest:
-                    largest = len(members)
-                if remaining <= largest:
+                size = member_edges.bit_count() + member_sp.bit_count()
+                if size > largest:
+                    largest = size
+                if unvisited.bit_count() + unvisited_sp.bit_count() <= largest:
                     break  # nothing left can beat the current largest
         return groups
 
-    def _groups_to_comps(self, groups: list[list[int]]) -> list[Comp]:
-        num_edges = self._num_edges
-        edge_items = self._edge_items
-        special_items = self._special_items
+    def _groups_to_bitcomps(self, groups: list[tuple[int, int]]) -> list[BitComp]:
+        specials = self._special_bits
         result = []
-        for members in groups:
-            edges = []
-            specials = []
-            for item in members:
-                if item < num_edges:
-                    edges.append(edge_items[item])
-                else:
-                    specials.append(special_items[item - num_edges])
-            result.append(Comp(frozenset(edges), tuple(specials)))
+        for edge_mask, special_mask in groups:
+            selected = tuple(specials[i] for i in bits_of(special_mask))
+            result.append(BitComp(edge_mask, selected))
         # A deterministic order keeps the search (and therefore the produced
         # decompositions) reproducible across runs.
+        num_edges = self.host.num_edges
         result.sort(
-            key=lambda c: (min(c.edges) if c.edges else self.host.num_edges, c.specials)
+            key=lambda c: (
+                (c.edges & -c.edges).bit_length() - 1 if c.edges else num_edges,
+                c.specials,
+            )
         )
         return result
 
@@ -203,13 +248,15 @@ class ComponentSplitter:
             if stats is not None:
                 stats.splitter_memo_misses += 1
         groups = self._flood(effective, stop_when_decided=True)
-        largest = max((len(members) for members in groups), default=0)
+        largest = max(
+            (edges.bit_count() + sp.bit_count() for edges, sp in groups), default=0
+        )
         if self._memoize:
             self._largest_memo.put(effective, largest)
         return largest
 
-    def split(self, separator: int) -> list[Comp]:
-        """The [separator]-components of the wrapped component."""
+    def split_bits(self, separator: int) -> list[BitComp]:
+        """The [separator]-components of the wrapped component, packed."""
         effective = separator & self._comp_vertices
         if self._memoize:
             cached = self._split_memo.get(effective)
@@ -219,10 +266,14 @@ class ComponentSplitter:
                 return list(cached)
             if self.stats is not None:
                 self.stats.splitter_memo_misses += 1
-        result = self._groups_to_comps(self._flood(effective))
+        result = self._groups_to_bitcomps(self._flood(effective))
         if self._memoize:
             self._split_memo.put(effective, result)
         return list(result)
+
+    def split(self, separator: int) -> list[Comp]:
+        """The [separator]-components as public :class:`Comp` values."""
+        return [part.to_comp() for part in self.split_bits(separator)]
 
 
 def components(host: Hypergraph, comp: Comp, separator: int) -> list[Comp]:

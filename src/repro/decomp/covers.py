@@ -83,8 +83,39 @@ from itertools import combinations
 from collections.abc import Iterable, Iterator, Sequence
 
 from ..hypergraph import Hypergraph
+from ..hypergraph.bitset import from_indices, indices_of
+from ..lru import BoundedLRU
 
 __all__ = ["CoverEnumerator", "label_union", "count_labels"]
+
+#: Bound on the number of memoised dominated pools per enumerator.
+DOMINATION_MEMO_SIZE = 2048
+
+
+def _pool_of(host: Hypergraph, allowed: Iterable[int] | int | None) -> list[int]:
+    """Normalise an allowed-edge argument into a sorted index list.
+
+    The searches pass packed edge-index bitmasks; iterables (the public,
+    set-based convention) and ``None`` (= all edges) keep working.
+    """
+    if allowed is None:
+        return list(range(host.num_edges))
+    if isinstance(allowed, int):
+        return indices_of(allowed)
+    return sorted(allowed)
+
+
+def _require_mask_of(require_from: Iterable[int] | int | None) -> int | None:
+    """Normalise a progress-rule argument into an edge-index bitmask (or None).
+
+    An empty mask and an empty set both mean "no progress constraint",
+    matching the historical falsiness check on frozensets.
+    """
+    if isinstance(require_from, int):
+        return require_from or None
+    if not require_from:
+        return None
+    return from_indices(require_from)
 
 
 def label_union(host: Hypergraph, label: Sequence[int]) -> int:
@@ -139,14 +170,15 @@ class CoverEnumerator:
         self.k = k
         self.pruning = True
         self.stats = None
+        self._domination_memo: BoundedLRU = BoundedLRU(DOMINATION_MEMO_SIZE)
 
     # ------------------------------------------------------------------ #
     # enumeration
     # ------------------------------------------------------------------ #
     def labels(
         self,
-        allowed: Iterable[int] | None = None,
-        require_from: frozenset[int] | None = None,
+        allowed: Iterable[int] | int | None = None,
+        require_from: Iterable[int] | int | None = None,
         overlap_with: int | None = None,
         cover: int | None = None,
         max_size: int | None = None,
@@ -159,10 +191,13 @@ class CoverEnumerator:
         Parameters
         ----------
         allowed:
-            Edge indices that may appear in the label (defaults to all edges).
+            Edge indices that may appear in the label (defaults to all
+            edges).  Accepts an iterable of indices or a packed edge-index
+            bitmask — the searches pass the bitmask form.
         require_from:
             If given, at least one edge of the label must come from this set
-            (the "progress" rule of the normal form).
+            (the "progress" rule of the normal form).  Iterable of indices
+            or a packed edge-index bitmask.
         overlap_with:
             If given (a vertex bitmask), every edge of the label must share a
             vertex with it (the parent-label pruning of Appendix C).
@@ -201,8 +236,8 @@ class CoverEnumerator:
 
     def labels_with_union(
         self,
-        allowed: Iterable[int] | None = None,
-        require_from: frozenset[int] | None = None,
+        allowed: Iterable[int] | int | None = None,
+        require_from: Iterable[int] | int | None = None,
         overlap_with: int | None = None,
         cover: int | None = None,
         component_vertices: int | None = None,
@@ -219,8 +254,8 @@ class CoverEnumerator:
 
     def labels_reference(
         self,
-        allowed: Iterable[int] | None = None,
-        require_from: frozenset[int] | None = None,
+        allowed: Iterable[int] | int | None = None,
+        require_from: Iterable[int] | int | None = None,
         overlap_with: int | None = None,
         cover: int | None = None,
         max_size: int | None = None,
@@ -229,17 +264,19 @@ class CoverEnumerator:
 
         Serves as the ground truth for the differential tests (the optimised
         :meth:`labels` must yield the byte-identical sequence) and as the
-        "no pruning" arm of the ablation benchmarks.
+        "no pruning" arm of the ablation benchmarks.  Only the argument
+        normalisation is shared with the optimised path; the combinations
+        filter itself is untouched.
         """
         host = self.host
         limit = self.k if max_size is None else min(max_size, self.k)
-        pool = sorted(allowed) if allowed is not None else list(range(host.num_edges))
+        pool = _pool_of(host, allowed)
         if overlap_with is not None:
             pool = [i for i in pool if host.edge_bits(i) & overlap_with]
         if not pool:
             return
-        require = require_from if require_from else None
-        if require is not None and not (require & set(pool)):
+        require = _require_mask_of(require_from)
+        if require is not None and not (require & from_indices(pool)):
             return
         pool_bits = [host.edge_bits(i) for i in pool]
         full_union = 0
@@ -250,7 +287,9 @@ class CoverEnumerator:
         for size in range(1, limit + 1):
             for combo_positions in combinations(range(len(pool)), size):
                 label = tuple(pool[p] for p in combo_positions)
-                if require is not None and not (require & set(label)):
+                if require is not None and not any(
+                    (require >> e) & 1 for e in label
+                ):
                     continue
                 if cover is not None:
                     union = 0
@@ -266,7 +305,7 @@ class CoverEnumerator:
     def _dominated_pool(
         self,
         pool: list[int],
-        require: frozenset[int] | None,
+        require: int | None,
         component_vertices: int,
         strict: bool,
     ) -> list[int]:
@@ -278,11 +317,24 @@ class CoverEnumerator:
         are exactly equal and both edges have the same progress status —
         ``f`` has the smaller index, so exactly one representative of every
         equivalence class survives, deterministically.
+
+        ``require`` is an edge-index bitmask (or None).  Results are memoised
+        under the packed ``(pool, require, V, strict)`` key: the searches
+        re-enumerate labels for the same component against many Conn/overlap
+        variations, and the dominated pool depends on none of those.
         """
         host = self.host
+        memo_key = (from_indices(pool), require, component_vertices, strict)
+        cached = self._domination_memo.get(memo_key)
+        if cached is not None:
+            survivors, skipped = cached
+            if self.stats is not None:
+                self.stats.bitset_memo_hits += 1
+                self.stats.enum_domination_skips += skipped
+            return survivors
         restricted = [host.edge_bits(e) & component_vertices for e in pool]
         if require is not None:
-            progress = [e in require for e in pool]
+            progress = [(require >> e) & 1 != 0 for e in pool]
         else:
             progress = None
         survivors: list[int] = []
@@ -312,6 +364,7 @@ class CoverEnumerator:
                     skipped += 1
             if skipped and self.stats is not None:
                 self.stats.enum_domination_skips += skipped
+            self._domination_memo.put(memo_key, (survivors, skipped))
             return survivors
 
         # strict=True from here on: full-containment domination, pairwise.
@@ -338,12 +391,13 @@ class CoverEnumerator:
                 survivors.append(pool[i])
         if skipped and self.stats is not None:
             self.stats.enum_domination_skips += skipped
+        self._domination_memo.put(memo_key, (survivors, skipped))
         return survivors
 
     def _branch_and_bound(
         self,
-        allowed: Iterable[int] | None,
-        require_from: frozenset[int] | None,
+        allowed: Iterable[int] | int | None,
+        require_from: Iterable[int] | int | None,
         overlap_with: int | None,
         cover: int | None,
         max_size: int | None,
@@ -353,12 +407,12 @@ class CoverEnumerator:
     ) -> Iterator[tuple[int, ...]]:
         host = self.host
         limit = self.k if max_size is None else min(max_size, self.k)
-        pool = sorted(allowed) if allowed is not None else list(range(host.num_edges))
+        pool = _pool_of(host, allowed)
         if overlap_with is not None:
             pool = [i for i in pool if host.edge_bits(i) & overlap_with]
         if not pool:
             return
-        require = require_from if require_from else None
+        require = _require_mask_of(require_from)
         if component_vertices is not None:
             pool = self._dominated_pool(
                 pool, require, component_vertices, strict_domination
@@ -368,7 +422,7 @@ class CoverEnumerator:
         stats = self.stats
 
         if require is not None:
-            is_req = [e in require for e in pool]
+            is_req = [(require >> e) & 1 != 0 for e in pool]
             last_req = -1
             for pos in range(n - 1, -1, -1):
                 if is_req[pos]:
@@ -469,7 +523,7 @@ class CoverEnumerator:
     # partitioning (used by the parallel backend)
     # ------------------------------------------------------------------ #
     def partition_first_edges(
-        self, allowed: Iterable[int] | None, num_parts: int
+        self, allowed: Iterable[int] | int | None, num_parts: int
     ) -> list[list[int]]:
         """Partition the candidate pool round-robin into ``num_parts`` groups.
 
@@ -477,7 +531,7 @@ class CoverEnumerator:
         explores labels whose *smallest* edge index belongs to its group,
         which partitions the label space without duplication.
         """
-        pool = sorted(allowed) if allowed is not None else list(range(self.host.num_edges))
+        pool = _pool_of(self.host, allowed)
         parts: list[list[int]] = [[] for _ in range(max(1, num_parts))]
         for position, edge in enumerate(pool):
             parts[position % max(1, num_parts)].append(edge)
@@ -485,9 +539,9 @@ class CoverEnumerator:
 
     def labels_for_partition(
         self,
-        allowed: Iterable[int] | None,
+        allowed: Iterable[int] | int | None,
         first_edges: Sequence[int],
-        require_from: frozenset[int] | None = None,
+        require_from: Iterable[int] | int | None = None,
         component_vertices: int | None = None,
         pruning: bool | None = None,
     ) -> Iterator[tuple[int, ...]]:

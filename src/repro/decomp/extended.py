@@ -23,12 +23,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator
+from typing import NamedTuple
 
 from ..exceptions import DecompositionError
 from ..hypergraph import Hypergraph
 from ..hypergraph import bitset
 
-__all__ = ["Comp", "ExtendedSubhypergraph", "FragmentNode", "full_comp"]
+__all__ = [
+    "BitComp",
+    "Comp",
+    "ExtendedSubhypergraph",
+    "FragmentNode",
+    "full_bitcomp",
+    "full_comp",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +91,71 @@ class Comp:
 def full_comp(host: Hypergraph) -> Comp:
     """The component representing the whole host hypergraph: ⟨E(H), ∅⟩."""
     return Comp(frozenset(range(host.num_edges)), ())
+
+
+class BitComp(NamedTuple):
+    """Packed-int twin of :class:`Comp` used by the search inner loops.
+
+    ``edges`` is a bitmask over *edge indices* of the host hypergraph (bit
+    ``i`` set iff edge ``i`` belongs to the component); ``specials`` holds the
+    special edges as sorted vertex bitmasks, exactly as in :class:`Comp`.
+    Being a named tuple, a ``BitComp`` hashes as a flat ``(int, tuple)`` pair,
+    so the subproblem memo keys of the searches are integer comparisons
+    instead of frozenset hashing.  :class:`Comp` remains the public,
+    set-based view; the two convert losslessly at the API boundary.
+    """
+
+    edges: int
+    specials: tuple[int, ...] = ()
+
+    @property
+    def size(self) -> int:
+        """|E'| + |Sp| — the size measure used by the balancedness checks."""
+        return self.edges.bit_count() + len(self.specials)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the component has neither edges nor special edges."""
+        return not self.edges and not self.specials
+
+    def with_special(self, special: int) -> "BitComp":
+        """Return a copy with one additional special edge (kept sorted)."""
+        return BitComp(self.edges, tuple(sorted(self.specials + (special,))))
+
+    def difference(self, other: "BitComp") -> "BitComp":
+        """Pointwise difference (line 35/38 of the algorithms)."""
+        remaining = list(self.specials)
+        for special in other.specials:
+            if special in remaining:
+                remaining.remove(special)
+        return BitComp(self.edges & ~other.edges, tuple(remaining))
+
+    def vertices(self, host: Hypergraph) -> int:
+        """V(H') as a vertex bitmask: union of all edges and special edges."""
+        mask = 0
+        rest = self.edges
+        edge_bits = host.edge_bits
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            mask |= edge_bits(low.bit_length() - 1)
+        for special in self.specials:
+            mask |= special
+        return mask
+
+    def to_comp(self) -> Comp:
+        """Convert to the public set-based :class:`Comp`."""
+        return Comp(frozenset(bitset.bits_of(self.edges)), self.specials)
+
+    @classmethod
+    def from_comp(cls, comp: Comp) -> "BitComp":
+        """Convert a public :class:`Comp` to the packed representation."""
+        return cls(bitset.from_indices(comp.edges), comp.specials)
+
+
+def full_bitcomp(host: Hypergraph) -> BitComp:
+    """The :class:`BitComp` representing the whole host hypergraph."""
+    return BitComp(host.all_edges_mask, ())
 
 
 @dataclass(frozen=True)

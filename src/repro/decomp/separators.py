@@ -16,8 +16,8 @@ This module provides:
 from __future__ import annotations
 
 from ..hypergraph import Hypergraph
-from .components import components
-from .extended import Comp, FragmentNode
+from .components import ComponentSplitter
+from .extended import BitComp, Comp, FragmentNode
 
 __all__ = [
     "cov",
@@ -89,6 +89,51 @@ def cov_subtree(
     return total
 
 
+def _cov_mask_sizes(
+    host: Hypergraph, comp: Comp, fragment: FragmentNode
+) -> dict[int, int]:
+    """|cov(u)| per node, computed on packed masks instead of object sets.
+
+    The bookkeeping of :func:`cov` — "covered here for the first time" —
+    tracks edge items as an edge-index bitmask and special items positionally
+    (duplicated specials collapse to one position, matching the set
+    semantics of :func:`cov` where equal ``("sp", s)`` markers coincide).
+    """
+    packed = BitComp.from_comp(comp) if isinstance(comp, Comp) else comp
+    # dict.fromkeys dedupes while keeping order: equal specials are one item.
+    specials = tuple(dict.fromkeys(packed.specials))
+    edge_bits = host.edge_bits
+    counts: dict[int, int] = {}
+    # Pre-order with the inherited "already covered above" masks.
+    stack: list[tuple[FragmentNode, int, int]] = [(fragment, 0, 0)]
+    while stack:
+        node, seen_edges, seen_specials = stack.pop()
+        chi = node.chi
+        here_edges = 0
+        rest = packed.edges & ~seen_edges
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            if edge_bits(low.bit_length() - 1) & ~chi == 0:
+                here_edges |= low
+        here_specials = 0
+        for position, special in enumerate(specials):
+            position_bit = 1 << position
+            if seen_specials & position_bit:
+                continue
+            if node.is_special_leaf:
+                if node.special == special:
+                    here_specials |= position_bit
+            elif special & ~chi == 0:
+                here_specials |= position_bit
+        counts[id(node)] = here_edges.bit_count() + here_specials.bit_count()
+        below_edges = seen_edges | here_edges
+        below_specials = seen_specials | here_specials
+        for child in node.children:
+            stack.append((child, below_edges, below_specials))
+    return counts
+
+
 def subtree_cov_sizes(
     host: Hypergraph,
     comp: Comp,
@@ -106,9 +151,15 @@ def subtree_cov_sizes(
     re-walking (and re-unioning) the subtree of each queried node.  For a
     fragment violating connectedness the sums may overcount; use
     :func:`cov_subtree` (set union) there instead.
+
+    Without a caller-supplied ``table`` the per-node counts come from the
+    packed-mask bookkeeping (:func:`_cov_mask_sizes`) — no cov() sets are
+    materialised; a precomputed :func:`cov` table is honoured when given.
     """
-    if table is None:
-        table = cov(host, comp, fragment)
+    if table is not None:
+        node_counts = {node_id: len(items) for node_id, items in table.items()}
+    else:
+        node_counts = _cov_mask_sizes(host, comp, fragment)
     sizes: dict[int, int] = {}
     # Iterative post-order: children are summed before their parent.
     stack: list[tuple[FragmentNode, bool]] = [(fragment, False)]
@@ -119,7 +170,7 @@ def subtree_cov_sizes(
             for child in node.children:
                 stack.append((child, False))
         else:
-            sizes[id(node)] = len(table[id(node)]) + sum(
+            sizes[id(node)] = node_counts[id(node)] + sum(
                 sizes[id(child)] for child in node.children
             )
     return sizes
@@ -176,8 +227,7 @@ def find_balanced_separator(
 
 def largest_component_size(host: Hypergraph, comp: Comp, separator: int) -> int:
     """The size of the largest [separator]-component of ``comp`` (0 if none)."""
-    comps = components(host, comp, separator)
-    return max((c.size for c in comps), default=0)
+    return ComponentSplitter(host, comp, memoize=False).largest_size(separator)
 
 
 def is_balanced_label(host: Hypergraph, comp: Comp, separator: int) -> bool:

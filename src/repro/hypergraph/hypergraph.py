@@ -52,6 +52,7 @@ class Hypergraph:
         "_vertex_names",
         "_vertex_index",
         "_all_vertices_mask",
+        "_incidence_masks",
         "_canonical_hash",
     )
 
@@ -91,6 +92,7 @@ class Hypergraph:
             for edge in self._edge_sets
         ]
         self._all_vertices_mask = bitset.from_indices(range(len(self._vertex_names)))
+        self._incidence_masks: tuple[int, ...] | None = None
         self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------ #
@@ -125,6 +127,11 @@ class Hypergraph:
     def all_vertices_mask(self) -> int:
         """Bitmask containing every vertex of the hypergraph."""
         return self._all_vertices_mask
+
+    @property
+    def all_edges_mask(self) -> int:
+        """Bitmask over *edge indices* containing every edge of the hypergraph."""
+        return (1 << len(self._edge_names)) - 1
 
     def edge_name(self, index: int) -> str:
         """Return the name of the edge with the given index."""
@@ -180,9 +187,31 @@ class Hypergraph:
     # ------------------------------------------------------------------ #
     def edges_containing(self, vertex: Vertex) -> list[int]:
         """Indices of all edges containing the given vertex."""
-        vid = self.vertex_id(vertex)
-        mask = 1 << vid
-        return [i for i, bits in enumerate(self._edge_bits) if bits & mask]
+        return bitset.indices_of(self.incidence_masks()[self.vertex_id(vertex)])
+
+    @property
+    def has_incidence_masks(self) -> bool:
+        """True once the incidence-mask table has been built (lazily, on first use)."""
+        return self._incidence_masks is not None
+
+    def incidence_masks(self) -> tuple[int, ...]:
+        """The vertex → edge-index incidence table, as bitmasks.
+
+        Entry ``v`` is the bitmask over *edge indices* of the edges containing
+        the vertex with id ``v`` — the transpose of :meth:`edge_bits`.  The
+        component splitter's flood fill is bit-twiddling over this table:
+        expanding a frontier vertex is one ``&`` against the unvisited edge
+        set instead of a scan over per-edge adjacency lists.  Built once per
+        hypergraph on first use and cached (the instance is immutable).
+        """
+        if self._incidence_masks is None:
+            table = [0] * len(self._vertex_names)
+            for index, bits in enumerate(self._edge_bits):
+                edge_bit = 1 << index
+                for vertex_id in bitset.bits_of(bits):
+                    table[vertex_id] |= edge_bit
+            self._incidence_masks = tuple(table)
+        return self._incidence_masks
 
     def subhypergraph(self, edge_indices: Iterable[int], name: str = "") -> "Hypergraph":
         """Return the subhypergraph induced by the given edge indices."""

@@ -19,8 +19,15 @@ Design
   semijoin and the final join all probe the same keys — so each index is
   built once and reused; :class:`ExecutionStatistics` counts the reuse.
 * **Selection masks instead of rebuilds** — semijoins never copy a bag;
-  they flip bits in an ``alive`` byte mask, which keeps the cached indexes
+  they operate on a packed-int ``alive`` bitmask (bit ``i`` = row ``i``
+  survives).  A semijoin ORs together the row bitmasks of the *dead* key
+  groups (``key_masks``) and clears them from the alive set with one ``&``;
+  the surviving row count is a single popcount.  The cached indexes stay
   valid across the passes (dead rows are skipped on probe).
+* **Packed columns** — code columns are ``array('q')`` buffers rather than
+  Python lists; joins gather and compact them through an optional numpy
+  fast path (``np.take`` over zero-copy ``frombuffer`` views) and fall back
+  to pure-Python loops where numpy is unavailable (CI runs without it).
 * **Early exit** — ``BOOLEAN`` plans stop at the first empty bag and skip
   the top-down pass and join stage entirely; all modes short-circuit when a
   bag or a reduced node comes out empty.
@@ -33,6 +40,8 @@ evaluation cheap: repeated queries touch only per-query bag state.
 from __future__ import annotations
 
 import threading
+from array import array
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from itertools import compress
 
@@ -41,6 +50,11 @@ from ..lru import ShardedLRU
 from .database import Database
 from .plan import AnswerMode, AtomBinding, JoinOp, ProjectOp, QueryPlan
 from .relation import Relation
+
+try:  # Optional fast path; CI images ship without numpy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 __all__ = [
     "ColumnarRelation",
@@ -51,16 +65,109 @@ __all__ = [
     "execute_plan",
 ]
 
+#: Typecode of the packed code columns: signed 64-bit, matching numpy int64
+#: so ``np.frombuffer`` can view a column without copying.
+_CODE_TYPECODE = "q"
+
+#: byte value (0..255) → the 8 selector bytes of its bits, little-endian.
+#: Turns an alive bitmask into per-row 0/1 selector bytes for
+#: :func:`itertools.compress` in O(nrows/8) table lookups.
+_BYTE_SELECTORS = tuple(
+    bytes((byte >> bit) & 1 for bit in range(8)) for byte in range(256)
+)
+
+#: Rows per chunk when building key→row-bitmask tables; bounds the size of
+#: the chunk-local ints so the build stays near-linear in the row count.
+_MASK_CHUNK = 4096
+
+
+def _mask_to_selectors(mask: int, nrows: int) -> bytes:
+    """Expand a row bitmask into ``nrows`` selector bytes (1 = row alive)."""
+    packed = mask.to_bytes((nrows + 7) // 8, "little")
+    if _np is not None:
+        bits = _np.unpackbits(
+            _np.frombuffer(packed, dtype=_np.uint8), bitorder="little"
+        )
+        return bits[:nrows].tobytes()
+    return b"".join(map(_BYTE_SELECTORS.__getitem__, packed))[:nrows]
+
+
+def _mask_indices(mask: int) -> list[int]:
+    """The set row ids of a row bitmask, ascending."""
+    ids = []
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        ids.append(low.bit_length() - 1)
+    return ids
+
+
+def _gather(column: Sequence[int], row_ids: list[int]) -> array:
+    """Materialise ``column[row_ids]`` as a packed code column."""
+    if _np is not None and isinstance(column, array):
+        taken = _np.frombuffer(column, dtype=_np.int64)[row_ids]
+        out = array(_CODE_TYPECODE)
+        out.frombytes(taken.tobytes())
+        return out
+    return array(_CODE_TYPECODE, map(column.__getitem__, row_ids))
+
+
+def _dedupe_columns(
+    schema: tuple[str, ...], columns: list[Sequence[int]], nrows: int
+) -> "ColumnarRelation":
+    """Distinct rows of parallel code columns, as a new relation.
+
+    The numpy path stacks the columns into one int64 matrix and takes
+    ``np.unique(..., axis=0)``; the fallback dedupes through a row-tuple set.
+    Output row order differs between the two (sorted vs arbitrary) — both are
+    valid: relations are sets and every consumer dedupes or indexes by key.
+    """
+    if nrows == 0:
+        return ColumnarRelation(
+            schema, tuple(array(_CODE_TYPECODE) for _ in schema), nrows=0
+        )
+    if _np is not None and all(isinstance(c, array) for c in columns):
+        stacked = _np.empty((nrows, len(columns)), dtype=_np.int64)
+        for j, column in enumerate(columns):
+            stacked[:, j] = _np.frombuffer(column, dtype=_np.int64)
+        unique = _np.unique(stacked, axis=0)
+        out = []
+        for j in range(len(columns)):
+            packed = array(_CODE_TYPECODE)
+            packed.frombytes(_np.ascontiguousarray(unique[:, j]).tobytes())
+            out.append(packed)
+        return ColumnarRelation(schema, tuple(out), nrows=len(unique))
+    return ColumnarRelation.from_rows(schema, set(zip(*columns)))
+
+
+def _compress_column(column: Sequence[int], selectors: bytes) -> array:
+    """Keep the rows whose selector byte is 1, as a packed code column."""
+    if _np is not None and isinstance(column, array):
+        keep = _np.frombuffer(selectors, dtype=_np.bool_)
+        taken = _np.frombuffer(column, dtype=_np.int64)[keep]
+        out = array(_CODE_TYPECODE)
+        out.frombytes(taken.tobytes())
+        return out
+    return array(_CODE_TYPECODE, compress(column, selectors))
+
 
 class ColumnarRelation:
     """A dictionary-encoded, column-major relation with cached key indexes."""
 
-    __slots__ = ("schema", "columns", "nrows", "_indexes", "_position")
+    __slots__ = (
+        "schema",
+        "columns",
+        "nrows",
+        "_indexes",
+        "_key_columns",
+        "_key_masks",
+        "_position",
+    )
 
     def __init__(
         self,
         schema: tuple[str, ...],
-        columns: tuple[list[int], ...],
+        columns: tuple[Sequence[int], ...],
         nrows: int | None = None,
     ) -> None:
         self.schema = schema
@@ -69,6 +176,8 @@ class ColumnarRelation:
         # count keeps {()} distinguishable from the empty relation.
         self.nrows = (len(columns[0]) if columns else 0) if nrows is None else nrows
         self._indexes: dict[tuple[str, ...], dict] = {}
+        self._key_columns: dict[tuple[str, ...], list] = {}
+        self._key_masks: dict[tuple[str, ...], dict] = {}
         self._position = {attribute: i for i, attribute in enumerate(schema)}
 
     def __len__(self) -> int:
@@ -77,28 +186,91 @@ class ColumnarRelation:
     def __repr__(self) -> str:
         return f"<ColumnarRelation ({', '.join(self.schema)}) |{self.nrows}| >"
 
-    def column(self, attribute: str) -> list[int]:
+    def column(self, attribute: str) -> Sequence[int]:
         """The code column of ``attribute``."""
         try:
             return self.columns[self._position[attribute]]
         except KeyError:
             raise QueryError(f"columnar relation has no attribute {attribute!r}") from None
 
-    def key_column(self, attributes: tuple[str, ...]) -> list:
+    def key_column(self, attributes: tuple[str, ...]) -> Sequence:
         """Join keys for ``attributes``, one per row.
 
-        Single-attribute keys are the bare codes; wider keys are code tuples.
+        Single-attribute keys are the bare code column itself; wider keys are
+        code tuples, zipped once and cached per attribute subset (the table's
+        columns are immutable, so the cache never needs invalidation).
         """
         if len(attributes) == 1:
             return self.column(attributes[0])
-        return list(zip(*(self.column(a) for a in attributes)))
+        keys = self._key_columns.get(attributes)
+        if keys is None:
+            keys = list(zip(*(self.column(a) for a in attributes)))
+            self._key_columns[attributes] = keys
+        return keys
+
+    def key_masks(
+        self, attributes: tuple[str, ...], stats: "ExecutionStatistics | None" = None
+    ) -> dict:
+        """Hash index key → bitmask of row ids, built once per attribute subset.
+
+        This is the probe structure of the bitmask semijoin: the rows of a
+        dead key group are removed from an alive mask with one OR + AND-NOT
+        instead of per-row byte flips.  Built chunk-wise so the per-row shift
+        work stays bounded by ``_MASK_CHUNK`` bits.
+        """
+        masks = self._key_masks.get(attributes)
+        if masks is not None:
+            if stats is not None:
+                stats.indexes_reused += 1
+            return masks
+        index = self._indexes.get(attributes)
+        if index is not None:
+            # Derive from the row-id-list view of the same logical index.
+            masks = {
+                key: sum(1 << row_id for row_id in row_ids)
+                for key, row_ids in index.items()
+            }
+            self._key_masks[attributes] = masks
+            if stats is not None:
+                stats.indexes_reused += 1
+            return masks
+        masks = {}
+        keys = self.key_column(attributes)
+        for base in range(0, self.nrows, _MASK_CHUNK):
+            local: dict = {}
+            get = local.get
+            bit = 1
+            for key in keys[base : base + _MASK_CHUNK]:
+                local[key] = get(key, 0) | bit
+                bit <<= 1
+            if base:
+                for key, mask in local.items():
+                    masks[key] = masks.get(key, 0) | (mask << base)
+            else:
+                masks = local
+        self._key_masks[attributes] = masks
+        if stats is not None:
+            stats.indexes_built += 1
+        return masks
 
     def index_on(
         self, attributes: tuple[str, ...], stats: "ExecutionStatistics | None" = None
     ) -> dict:
-        """Hash index key → list of row ids, built once per attribute subset."""
+        """Hash index key → list of row ids, built once per attribute subset.
+
+        :meth:`key_masks` is the same logical index in bitmask form; when one
+        representation exists the other is derived from it (the hashing and
+        key grouping are shared), which counts as a reuse, not a build.
+        """
         index = self._indexes.get(attributes)
         if index is not None:
+            if stats is not None:
+                stats.indexes_reused += 1
+            return index
+        masks = self._key_masks.get(attributes)
+        if masks is not None:
+            index = {key: _mask_indices(mask) for key, mask in masks.items()}
+            self._indexes[attributes] = index
             if stats is not None:
                 stats.indexes_reused += 1
             return index
@@ -127,8 +299,11 @@ class ColumnarRelation:
         if not schema:
             return cls((), (), nrows=1 if materialised else 0)
         if not materialised:
-            return cls(schema, tuple([] for _ in schema))
-        return cls(schema, tuple(list(column) for column in zip(*materialised)))
+            return cls(schema, tuple(array(_CODE_TYPECODE) for _ in schema))
+        return cls(
+            schema,
+            tuple(array(_CODE_TYPECODE, column) for column in zip(*materialised)),
+        )
 
 
 @dataclass
@@ -186,7 +361,7 @@ class ColumnStore:
         self._encode_lock = threading.Lock()
         #: (relation, repeat pattern) → encoded columns; shared across atoms
         #: that bind the same relation with the same repeat structure.
-        self._atom_columns: dict[tuple, tuple[list[int], ...]] = {}
+        self._atom_columns: dict[tuple, tuple[Sequence[int], ...]] = {}
         #: (relation, repeat pattern, variables) → the schema-bound table.
         self._atom_tables: dict[tuple, ColumnarRelation] = {}
         #: Materialised bag tables, keyed by the bag's structural signature
@@ -288,32 +463,62 @@ class ColumnStore:
 
 
 class _NodeState:
-    """Mutable per-node execution state: the bag table plus a liveness mask."""
+    """Mutable per-node execution state: the bag table plus a liveness mask.
 
-    __slots__ = ("table", "alive", "live_count")
+    ``alive`` is a packed row bitmask (bit ``i`` set = row ``i`` survives),
+    ``None`` while every row is still alive.  Key-set snapshots are cached
+    per attribute subset and invalidated through a version counter that is
+    bumped on every alive-mask change.
+    """
+
+    __slots__ = ("table", "alive", "live_count", "_version", "_live_keys")
 
     def __init__(self, table: ColumnarRelation) -> None:
         self.table = table
-        self.alive: bytearray | None = None  # None = every row alive
+        self.alive: int | None = None  # None = every row alive
         self.live_count = table.nrows
+        self._version = 0
+        self._live_keys: dict[tuple[str, ...], tuple[int, set]] = {}
 
-    def ensure_mask(self) -> bytearray:
+    def kill(self, dead: int) -> None:
+        """Clear the rows of the ``dead`` bitmask from the alive set."""
+        alive = self.alive if self.alive is not None else (1 << self.table.nrows) - 1
+        survivors = alive & ~dead
+        if survivors == alive and self.alive is not None:
+            return  # only already-dead rows: the mask (and caches) stand
+        self.alive = survivors
+        self.live_count = survivors.bit_count()
+        self._version += 1
+
+    def selectors(self) -> bytes | None:
+        """Per-row 0/1 selector bytes of the alive mask (None = all alive)."""
         if self.alive is None:
-            self.alive = bytearray(b"\x01") * self.table.nrows
-        return self.alive
+            return None
+        return _mask_to_selectors(self.alive, self.table.nrows)
 
     def live_rows(self):
         """Iterate the alive rows as code tuples."""
         if self.alive is None:
             return self.table.rows()
-        return compress(self.table.rows(), self.alive)
+        return compress(self.table.rows(), self.selectors())
 
     def live_keys(self, attributes: tuple[str, ...]) -> set:
-        """Distinct join keys of the alive rows over ``attributes``."""
+        """Distinct join keys of the alive rows over ``attributes``.
+
+        Cached per attribute subset while the alive mask is unchanged — the
+        top-down pass re-reads the key sets the bottom-up pass computed for
+        every node whose mask was not touched in between.
+        """
+        cached = self._live_keys.get(attributes)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         keys = self.table.key_column(attributes)
         if self.alive is None:
-            return set(keys)
-        return set(compress(keys, self.alive))
+            result = set(keys)
+        else:
+            result = set(compress(keys, self.selectors()))
+        self._live_keys[attributes] = (self._version, result)
+        return result
 
 
 @dataclass
@@ -422,8 +627,11 @@ class PlanExecutor:
         if current.schema != bag.variables:
             positions = [current._position[a] for a in bag.variables]
             columns = [current.columns[p] for p in positions]
-            rows = set(zip(*columns)) if columns else (set() if current.nrows == 0 else {()})
-            current = ColumnarRelation.from_rows(bag.variables, rows)
+            if columns:
+                current = _dedupe_columns(bag.variables, columns, current.nrows)
+            else:
+                rows = set() if current.nrows == 0 else {()}
+                current = ColumnarRelation.from_rows(bag.variables, rows)
         stats.rows_materialised += current.nrows
         # Filter by the atoms assigned to the node (semijoin on shared vars).
         for atom_index in bag.assigned:
@@ -436,11 +644,13 @@ class PlanExecutor:
                 continue
             keys = set(atom.key_column(shared))
             bag_keys = current.key_column(shared)
-            keep = [key in keys for key in bag_keys]
+            keep = bytes(key in keys for key in bag_keys)
             survivors = sum(keep)
             if survivors == current.nrows:
                 continue
-            columns = tuple(list(compress(column, keep)) for column in current.columns)
+            columns = tuple(
+                _compress_column(column, keep) for column in current.columns
+            )
             current = ColumnarRelation(bag.variables, columns, nrows=survivors)
         return current
 
@@ -476,19 +686,15 @@ class PlanExecutor:
             return True
         stats.semijoins_run += 1
         source_keys = source.live_keys(on)
-        index = target.table.index_on(on, stats)
-        if len(source_keys) >= len(index) and all(key in source_keys for key in index):
-            # Every key group survives: nothing to flip.
-            return target.live_count > 0
-        alive = target.ensure_mask()
-        removed = 0
-        for key, row_ids in index.items():
+        key_masks = target.table.key_masks(on, stats)
+        # OR the row masks of the dead key groups, then clear them all at
+        # once — the per-row work collapses into wide integer ops.
+        dead = 0
+        for key, mask in key_masks.items():
             if key not in source_keys:
-                for row_id in row_ids:
-                    if alive[row_id]:
-                        alive[row_id] = 0
-                        removed += 1
-        target.live_count -= removed
+                dead |= mask
+        if dead:
+            target.kill(dead)
         return target.live_count > 0
 
     # ------------------------------------------------------------------ #
@@ -510,8 +716,10 @@ class PlanExecutor:
                 table = state.table
             else:
                 # Compact column-at-a-time; the mask keeps rows distinct.
+                selectors = state.selectors()
                 columns = tuple(
-                    list(compress(column, state.alive)) for column in state.table.columns
+                    _compress_column(column, selectors)
+                    for column in state.table.columns
                 )
                 table = ColumnarRelation(state.table.schema, columns, nrows=state.live_count)
             results[node_id] = table
@@ -538,7 +746,7 @@ class PlanExecutor:
             rows: set[tuple[int, ...]] = {()} if table.nrows else set()
             return ColumnarRelation.from_rows((), rows)
         columns = [table.column(a) for a in attributes]
-        return ColumnarRelation.from_rows(attributes, set(zip(*columns)))
+        return _dedupe_columns(attributes, columns, table.nrows)
 
     def _join(
         self, left: ColumnarRelation, right: ColumnarRelation, stats: ExecutionStatistics
@@ -559,10 +767,16 @@ class PlanExecutor:
             # Cartesian product (rare: disjoint λ-cover atoms in one bag).
             n_left, n_right = left.nrows, right.nrows
             columns = [
-                [value for value in column for _ in range(n_right)]
+                array(
+                    _CODE_TYPECODE,
+                    (value for value in column for _ in range(n_right)),
+                )
                 for column in left.columns
             ]
-            columns += [list(column) * n_left for column in right.columns]
+            columns += [
+                array(_CODE_TYPECODE, list(column) * n_left)
+                for column in right.columns
+            ]
             return ColumnarRelation(schema, tuple(columns), nrows=n_left * n_right)
 
         # Probe the (cached) index of the right side with left-side keys.
@@ -576,12 +790,9 @@ class PlanExecutor:
                 extend(bucket)
                 left_ids.extend([left_id] * len(bucket))
         stats.rows_materialised += len(right_ids)
-        columns = [
-            [column[i] for i in left_ids] for column in left.columns
-        ]
+        columns = [_gather(column, left_ids) for column in left.columns]
         columns += [
-            [column[i] for i in right_ids]
-            for column in (right.column(a) for a in right_extra)
+            _gather(right.column(a), right_ids) for a in right_extra
         ]
         return ColumnarRelation(schema, tuple(columns), nrows=len(right_ids))
 

@@ -196,6 +196,10 @@ class ServiceStats:
     workers: int = 0
     latency_p50: float = 0.0
     latency_p95: float = 0.0
+    #: Aggregate of the decomposition searches' kernel counters (labels
+    #: tried, splitter/bitset memo hits, mask-table builds, ...) summed over
+    #: every computation this service actually ran.
+    search_counters: dict = field(default_factory=dict)
     result_memo: ShardStats = field(default_factory=ShardStats)
     engine_cache: ShardStats = field(default_factory=ShardStats)
     engine_cache_shards: list[ShardStats] = field(default_factory=list)
@@ -220,6 +224,7 @@ class ServiceStats:
             "workers": self.workers,
             "latency_p50_ms": self.latency_p50 * 1000.0,
             "latency_p95_ms": self.latency_p95 * 1000.0,
+            "search_counters": dict(self.search_counters),
             "result_memo_hit_rate": self.result_memo.hit_rate,
             "engine_cache_hit_rate": self.engine_cache.hit_rate,
             "engine_cache_shards": [
@@ -293,6 +298,11 @@ class DecompositionService:
         self._fast_path_hits = 0
         self._failed = 0
         self._cancelled = 0
+        #: Aggregated search-kernel counters of every decomposition computed
+        #: by this service (see SearchStatistics.search_counters): cache and
+        #: memo-served requests do not add to them, so the snapshot reflects
+        #: the actual kernel work done, not the request volume.
+        self._search_counters: dict[str, int] = {}
 
         self._query_engine = query_engine
         self._query_engine_lock = threading.Lock()
@@ -520,6 +530,11 @@ class DecompositionService:
         ):
             self._results.put(task.key, result)
         with self._lock:
+            statistics = getattr(result, "statistics", None)
+            if statistics is not None and hasattr(statistics, "search_counters"):
+                counters = self._search_counters
+                for counter, value in statistics.search_counters().items():
+                    counters[counter] = counters.get(counter, 0) + value
             self._finalize_locked(task, result, error)
 
     def _finalize_locked(self, task: _Task, result, error) -> None:
@@ -593,6 +608,7 @@ class DecompositionService:
                 queue_depth=self._queue.qsize(),
                 inflight=len(self._inflight),
                 workers=len(self._workers),
+                search_counters=dict(self._search_counters),
             )
         samples.sort()
         stats.latency_p50 = _percentile(samples, 0.50)

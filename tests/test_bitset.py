@@ -1,10 +1,10 @@
-"""Unit tests for the bitset helpers."""
+"""Unit tests for the bitset helpers and the incidence-mask table."""
 
 from __future__ import annotations
 
 from hypothesis import given, strategies as st
 
-from repro.hypergraph import bitset
+from repro.hypergraph import Hypergraph, bitset
 
 
 def test_singleton():
@@ -63,3 +63,73 @@ def test_set_operations_match_python_sets(a, b):
     assert set(bitset.indices_of(ma & ~mb)) == a - b
     assert bitset.is_subset(ma, mb) == (a <= b)
     assert bitset.intersects(ma, mb) == bool(a & b)
+
+
+@given(st.integers(min_value=0, max_value=300))
+def test_singleton_matches_from_indices(index):
+    assert bitset.singleton(index) == bitset.from_indices({index})
+    assert bitset.indices_of(bitset.singleton(index)) == [index]
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_bits_of_is_sorted_and_complete(indices):
+    produced = list(bitset.bits_of(bitset.from_indices(indices)))
+    assert produced == sorted(indices)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=64)))
+def test_indices_of_equals_bits_of(indices):
+    mask = bitset.from_indices(indices)
+    assert bitset.indices_of(mask) == list(bitset.bits_of(mask))
+
+
+# --------------------------------------------------------------------------- #
+# the incidence-mask table (vertex id → edge-index bitmask)
+# --------------------------------------------------------------------------- #
+_edges_strategy = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=12), min_size=1, max_size=5),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(_edges_strategy)
+def test_incidence_masks_match_frozenset_semantics(edge_sets):
+    host = Hypergraph(edge_sets)
+    assert not host.has_incidence_masks  # built lazily, on first use
+    table = host.incidence_masks()
+    assert host.has_incidence_masks
+    assert len(table) == host.num_vertices
+    for vertex in host.vertex_names:
+        expected = {
+            index
+            for index in range(host.num_edges)
+            if vertex in host.edge_vertices(index)
+        }
+        mask = table[host.vertex_id(vertex)]
+        assert set(bitset.indices_of(mask)) == expected
+        assert host.edges_containing(vertex) == sorted(expected)
+
+
+@given(_edges_strategy)
+def test_incidence_masks_invert_edge_bits(edge_sets):
+    # Vertex v is in edge e  ⟺  e is in the incidence mask of v: the table
+    # is exactly the transpose of the edge_bits relation.
+    host = Hypergraph(edge_sets)
+    table = host.incidence_masks()
+    for index in range(host.num_edges):
+        edge_mask = host.edge_bits(index)
+        for vertex_id in range(host.num_vertices):
+            in_edge = bool(edge_mask & bitset.singleton(vertex_id))
+            in_table = bool(table[vertex_id] & bitset.singleton(index))
+            assert in_edge == in_table
+
+
+@given(_edges_strategy)
+def test_all_edges_mask_covers_every_edge(edge_sets):
+    host = Hypergraph(edge_sets)
+    assert bitset.indices_of(host.all_edges_mask) == list(range(host.num_edges))
+    union = 0
+    for mask in host.incidence_masks():
+        union |= mask
+    assert union == host.all_edges_mask

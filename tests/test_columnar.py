@@ -234,6 +234,36 @@ def test_executor_reuses_indexes_across_passes():
     assert result.statistics.indexes_reused >= 1
 
 
+def test_key_column_cached_per_attributes():
+    table = ColumnarRelation.from_rows(("a", "b"), {(1, 2), (3, 4), (5, 6)})
+    wide = table.key_column(("a", "b"))
+    assert table.key_column(("a", "b")) is wide  # zipped once, then cached
+    # Single-attribute keys are the stored column itself — identity-stable.
+    assert table.key_column(("a",)) is table.column("a")
+    assert sorted(wide) == [(1, 2), (3, 4), (5, 6)]
+
+
+def test_live_keys_cache_invalidated_by_alive_changes():
+    from repro.query.columnar import _NodeState
+
+    table = ColumnarRelation.from_rows(("a", "b"), {(1, 2), (3, 4), (5, 6)})
+    state = _NodeState(table)
+    first = state.live_keys(("a",))
+    assert first == {1, 3, 5}
+    assert state.live_keys(("a",)) is first  # cached while the mask stands
+
+    dead = table.key_masks(("a",))[3]
+    state.kill(dead)
+    assert state.live_count == 2
+    second = state.live_keys(("a",))
+    assert second == {1, 5}  # the kill invalidated the cached snapshot
+    assert state.live_keys(("a",)) is second
+
+    # Killing rows that are already dead must not invalidate the cache.
+    state.kill(dead)
+    assert state.live_keys(("a",)) is second
+
+
 def test_store_database_mismatch_rejected():
     query = ConjunctiveQuery((Atom("r", ("x", "y")),), ("x",))
     db1 = Database([Relation("r", ["a0", "a1"], [(1, 2)])])

@@ -42,8 +42,11 @@ def test_run_parametrised_resolves_optimum(small_instances):
 def test_run_parametrised_accumulates_search_counters(small_instances):
     # The kernel counters are summed over every (instance, k) run of the
     # record (use_engine=False: a result-cache hit would replay stored stats).
+    # A fresh hypergraph (not the shared fixture) so the incidence-mask table
+    # has not been built yet and mask_table_builds must move.
+    instance = Instance("cycle6-fresh", "Synthetic", generators.cycle(6), "cycle")
     record = run_parametrised(
-        small_instances[0],
+        instance,
         "detk",
         lambda t: DetKDecomposer(timeout=t, use_engine=False),
         5.0,
@@ -52,12 +55,17 @@ def test_run_parametrised_accumulates_search_counters(small_instances):
     counters = record.search_counters
     assert counters["labels_tried"] > 0
     assert counters["splitter_memo_misses"] > 0
+    # The bitset kernels build one incidence-mask table per hypergraph used
+    # by a splitter, so a successful run must record at least one build.
+    assert counters["mask_table_builds"] > 0
     assert set(counters) == {
         "labels_tried",
         "enum_branches_pruned",
         "enum_domination_skips",
         "splitter_memo_hits",
         "splitter_memo_misses",
+        "mask_table_builds",
+        "bitset_memo_hits",
     }
 
 

@@ -466,6 +466,26 @@ def test_engine_accepts_legacy_decompose_raw_override(cycle6):
         registry.unregister("legacy-signature")
 
 
+def test_stats_exposes_search_counters():
+    # The stats snapshot aggregates the kernel counters of every computed
+    # decomposition; cached/coalesced requests add nothing.  A fresh
+    # hypergraph guarantees an incidence-mask table build is recorded.
+    svc = DecompositionService(num_workers=1, engine=DecompositionEngine())
+    try:
+        assert svc.stats().search_counters == {}
+        result = svc.submit(generators.cycle(6), 2).result(timeout=30)
+        assert result.success
+        counters = svc.stats().search_counters
+        assert counters["labels_tried"] > 0
+        assert counters["mask_table_builds"] > 0
+        # A repeat of the same request is memo-served: no new kernel work.
+        svc.submit(generators.cycle(6), 2).result(timeout=30)
+        assert svc.stats().search_counters == counters
+        assert svc.stats().as_dict()["search_counters"] == counters
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
 # --------------------------------------------------------------------------- #
 # the full concurrent stress scenario (>= 8 client threads, mixed workload)
 # --------------------------------------------------------------------------- #
