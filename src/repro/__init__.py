@@ -19,6 +19,11 @@ and Pichler.  The package provides:
 * :mod:`repro.service` — the concurrent serving layer: sharded caches,
   in-flight request deduplication and a prioritised worker pool
   (``python -m repro.serve --selftest`` smoke-tests it end to end),
+* :mod:`repro.faults` — deterministic fault injection (named fault points,
+  seeded schedules) and the resilience primitives behind the supervised
+  recovery ladder: retry with backoff, the catalog circuit breaker, worker
+  respawn and quarantine (``python -m repro.serve --selftest --chaos``
+  exercises it),
 * :mod:`repro.bench` — the HyperBench-like corpus and the harness regenerating
   the paper's tables and figures.
 
@@ -40,6 +45,7 @@ importing :mod:`repro` does not pull the query engine in.
 """
 
 from .exceptions import (
+    CatalogError,
     DecompositionError,
     HypergraphError,
     ParseError,
@@ -107,6 +113,10 @@ _LAZY_EXPORTS = {
     "QueryWorkload": ("repro.query", "QueryWorkload"),
     "DecompositionCatalog": ("repro.catalog", "DecompositionCatalog"),
     "CatalogStats": ("repro.catalog", "CatalogStats"),
+    "FaultRule": ("repro.faults", "FaultRule"),
+    "FaultInjector": ("repro.faults", "FaultInjector"),
+    "RetryPolicy": ("repro.faults", "RetryPolicy"),
+    "CircuitBreaker": ("repro.faults", "CircuitBreaker"),
 }
 
 
@@ -136,6 +146,7 @@ __all__ = [
     "TimeoutExceeded",
     "QueryError",
     "ServiceError",
+    "CatalogError",
     # hypergraph substrate
     "Hypergraph",
     "Atom",
@@ -185,4 +196,9 @@ __all__ = [
     # durable catalog (lazy)
     "DecompositionCatalog",
     "CatalogStats",
+    # fault injection + resilience (lazy)
+    "FaultRule",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitBreaker",
 ]

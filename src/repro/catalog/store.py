@@ -27,11 +27,29 @@ Design decisions that make the catalog safe to share:
   path.  :meth:`flush` drains the queue (tests and clean shutdowns call it;
   :meth:`close` flushes implicitly).  Because rows are only ever *decided*
   answers and inserts are idempotent, losing queued writes in a crash costs
-  recomputation, never correctness.
-* **Graceful degradation.**  If the file cannot be opened, is corrupt, or a
-  write fails mid-flight, the catalog logs one warning and falls back to a
-  private in-memory database: serving keeps working, merely without
-  durability (``stats().memory_fallback`` makes the degradation visible).
+  recomputation, never correctness.  The writer thread is supervised: an
+  unexpected exception loses at most the one write it was applying (counted
+  as ``lost_writes``), and a *dead* writer is detected — :meth:`flush`
+  raises :class:`~repro.exceptions.CatalogError` instead of silently
+  dropping the queue, and the next :meth:`put` respawns the thread.
+* **Retry, then break the circuit — degradation is temporary.**  Every
+  SQLite operation runs under a :class:`~repro.faults.RetryPolicy`
+  (exponential backoff + jitter), so transient errors heal invisibly.
+  Persistent failure opens a :class:`~repro.faults.CircuitBreaker`: the
+  file connection is dropped and the catalog serves from a private
+  in-memory *shadow* database (``stats().memory_fallback`` is True while
+  degraded — serving keeps working, merely without durability).  After
+  ``reset_interval`` seconds each operation first attempts a half-open
+  probe; a successful probe **re-attaches** the file, replays the shadow's
+  rows into it (``reattach_replays``) and closes the circuit —
+  ``circuit_reattaches`` proves the recovery.  :meth:`probe` forces the
+  attempt without waiting for the cooldown.
+
+Fault points (see :mod:`repro.faults`): ``catalog.open``, ``catalog.probe``
+and ``catalog.<op>`` for every SQLite operation (``get``, ``put``,
+``delete``, ``query``, ``evict``, ``vacuum``), plus ``catalog.writer``
+around each write-behind application — the chaos suite drives the whole
+retry → break → probe → re-attach ladder through them.
 
 Namespaces isolate tenants sharing one file: a catalog handle is bound to
 one namespace; rows of other namespaces are invisible to `get`/`put` and
@@ -45,10 +63,12 @@ import logging
 import queue
 import sqlite3
 import threading
+import time
 from dataclasses import asdict, dataclass, replace
 from datetime import datetime, timezone
 from pathlib import Path
 
+from .. import faults
 from ..core.base import SearchStatistics
 from ..core.codec import (
     class_for_kind,
@@ -62,7 +82,8 @@ from ..decomp.decomposition import (
     HypertreeDecomposition,
 )
 from ..decomp.validation import validate_ghd, validate_hd
-from ..exceptions import ReproError
+from ..exceptions import CatalogError, ReproError
+from ..faults import CircuitBreaker, RetryPolicy
 from ..hypergraph import Hypergraph
 from ..hypergraph.io import from_hif, to_hif
 
@@ -90,6 +111,9 @@ CREATE TABLE IF NOT EXISTS entries (
 )
 """
 
+#: Number of columns in ``entries`` (the re-attach replay binds them all).
+_NUM_COLUMNS = 14
+
 
 def _stable(value):
     """Recursively order-normalise a configuration value for stable text."""
@@ -115,7 +139,15 @@ def configuration_text(configuration: tuple) -> str:
 
 @dataclass
 class CatalogStats:
-    """Traffic counters of one catalog handle (not persisted)."""
+    """Traffic and resilience counters of one catalog handle (not persisted).
+
+    ``memory_fallback`` is True *while* the circuit is open and the handle
+    serves from its in-memory shadow; it flips back to False on re-attach.
+    ``retries`` counts healed transient errors, ``circuit_*`` the breaker's
+    state transitions, ``reattach_replays`` shadow rows replayed into the
+    file on recovery, and ``lost_writes`` / ``writer_respawns`` the
+    write-behind supervisor's interventions.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -123,6 +155,14 @@ class CatalogStats:
     duplicate_stores: int = 0
     validate_rejects: int = 0
     errors: int = 0
+    retries: int = 0
+    lost_writes: int = 0
+    writer_respawns: int = 0
+    reattach_replays: int = 0
+    circuit_opens: int = 0
+    circuit_probes: int = 0
+    circuit_reattaches: int = 0
+    circuit_state: str = "closed"
     memory_fallback: bool = False
 
     def as_dict(self) -> dict:
@@ -137,6 +177,15 @@ class CatalogStats:
         self.duplicate_stores += other.duplicate_stores
         self.validate_rejects += other.validate_rejects
         self.errors += other.errors
+        self.retries += other.retries
+        self.lost_writes += other.lost_writes
+        self.writer_respawns += other.writer_respawns
+        self.reattach_replays += other.reattach_replays
+        self.circuit_opens += other.circuit_opens
+        self.circuit_probes += other.circuit_probes
+        self.circuit_reattaches += other.circuit_reattaches
+        if other.circuit_state != "closed":
+            self.circuit_state = other.circuit_state
         self.memory_fallback = self.memory_fallback or other.memory_fallback
 
 
@@ -206,6 +255,12 @@ class DecompositionCatalog:
     synchronous_writes:
         Bypass the write-behind queue and insert inline — slower ``put`` but
         no :meth:`flush` needed before handing the file to another process.
+    retry_policy:
+        The :class:`~repro.faults.RetryPolicy` wrapped around every SQLite
+        operation (default: 2 retries, 10 ms base backoff with jitter).
+    failure_threshold / reset_interval:
+        The circuit breaker's knobs: consecutive attempt failures before the
+        circuit opens, and the cooldown before a half-open re-attach probe.
 
     The handle is thread-safe: one connection guarded by a lock (SQLite WAL
     handles cross-process concurrency).  Use as a context manager or call
@@ -218,12 +273,19 @@ class DecompositionCatalog:
         namespace: str = "default",
         *,
         synchronous_writes: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        failure_threshold: int = 3,
+        reset_interval: float = 1.0,
     ) -> None:
         if not namespace or any(ch.isspace() for ch in namespace):
             raise ReproError(f"invalid catalog namespace {namespace!r}")
         self.path = Path(path)
         self.namespace = namespace
         self.synchronous_writes = synchronous_writes
+        self._retry = retry_policy if retry_policy is not None else RetryPolicy()
+        self._breaker = CircuitBreaker(
+            failure_threshold=failure_threshold, reset_interval=reset_interval
+        )
         self._lock = threading.Lock()
         self._stats = CatalogStats()
         self._closed = False
@@ -231,26 +293,42 @@ class DecompositionCatalog:
         self._pending = 0
         self._drained = threading.Condition(self._lock)
         self._writer: threading.Thread | None = None
+        self._writer_died = False
+        self._attached = False
         self._connection = self._open()
 
     # ------------------------------------------------------------------ #
-    # connection management
+    # connection management, circuit breaking, re-attach
     # ------------------------------------------------------------------ #
-    def _open(self) -> sqlite3.Connection:
+    def _connect_file(self) -> sqlite3.Connection:
+        """Open (and initialise) the durable file; raises on failure."""
+        faults.fire("catalog.open")
+        connection = sqlite3.connect(str(self.path), check_same_thread=False)
         try:
-            connection = sqlite3.connect(str(self.path), check_same_thread=False)
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA synchronous=NORMAL")
             connection.execute(_SCHEMA)
             connection.commit()
-            return connection
-        except (sqlite3.Error, OSError) as exc:
-            return self._fall_back_to_memory(f"cannot open catalog {self.path}: {exc}")
+        except BaseException:
+            connection.close()
+            raise
+        return connection
 
-    def _fall_back_to_memory(self, reason: str) -> sqlite3.Connection:
-        """Degrade to a private in-memory database; caller may hold the lock."""
+    def _open(self) -> sqlite3.Connection:
+        try:
+            connection = self._connect_file()
+        except (sqlite3.Error, OSError) as exc:
+            self._breaker.trip()
+            return self._shadow_connection(f"cannot open catalog {self.path}: {exc}")
+        self._attached = True
+        return connection
+
+    def _shadow_connection(self, reason: str) -> sqlite3.Connection:
+        """Build the in-memory shadow the handle serves from while degraded."""
         logger.warning(
-            "%s — continuing with a memory-only catalog (no durability)", reason
+            "%s — circuit open, continuing with a memory-only catalog "
+            "(no durability) until the file re-attaches",
+            reason,
         )
         self._stats.memory_fallback = True
         self._stats.errors += 1
@@ -259,9 +337,132 @@ class DecompositionCatalog:
         connection.commit()
         return connection
 
+    def _degrade_locked(self, label: str, exc: BaseException) -> None:
+        """Drop the file connection and switch to the shadow (lock held)."""
+        try:
+            self._connection.close()
+        except sqlite3.Error:
+            pass
+        self._attached = False
+        self._connection = self._shadow_connection(f"catalog {label} failed: {exc}")
+
+    def _probe_locked(self, force: bool = False) -> bool:
+        """Attempt a half-open re-attach if the breaker allows one (lock held).
+
+        On success the shadow's rows are replayed into the file (idempotent
+        ``INSERT OR IGNORE``), the shadow is discarded, and the circuit
+        closes.  Returns whether the handle is attached afterwards.
+        """
+        if self._attached:
+            return True
+        if not self._breaker.allow(force_probe=force):
+            return False
+        try:
+            faults.fire("catalog.probe")
+            connection = self._connect_file()
+        except (sqlite3.Error, OSError) as exc:
+            self._breaker.record_failure()
+            logger.debug("catalog re-attach probe failed: %s", exc)
+            return False
+        replayed = 0
+        try:
+            placeholders = ", ".join("?" * _NUM_COLUMNS)
+            for row in self._connection.execute("SELECT * FROM entries"):
+                cursor = connection.execute(
+                    f"INSERT OR IGNORE INTO entries VALUES ({placeholders})", row
+                )
+                replayed += cursor.rowcount
+            connection.commit()
+        except sqlite3.Error as exc:
+            self._breaker.record_failure()
+            connection.close()
+            logger.debug("catalog re-attach replay failed: %s", exc)
+            return False
+        try:
+            self._connection.close()
+        except sqlite3.Error:
+            pass
+        self._connection = connection
+        self._attached = True
+        self._breaker.record_success()
+        self._stats.memory_fallback = False
+        self._stats.reattach_replays += replayed
+        logger.info(
+            "catalog re-attached to %s (%d shadow row(s) replayed)",
+            self.path,
+            replayed,
+        )
+        return True
+
+    def probe(self) -> bool:
+        """Force a re-attach attempt now; True iff the file is attached after.
+
+        Bypasses the breaker's cooldown — operational tooling (and the chaos
+        harness) calls this to confirm recovery instead of waiting for the
+        next organic operation to probe.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            return self._probe_locked(force=True)
+
+    def _run(self, label: str, fn, default=None):
+        """Run ``fn(connection)`` with retry, circuit breaking and degradation.
+
+        While attached: each attempt fires the ``catalog.<label>`` fault
+        point and is retried per the policy; exhausted retries (or the
+        breaker opening) degrade the handle to its shadow, on which the
+        operation is then served best-effort.  While degraded: a cooldown-
+        gated re-attach probe runs first, then the operation hits whichever
+        connection is now active.
+        """
+        with self._lock:
+            if self._closed:
+                return default
+            if not self._attached:
+                self._probe_locked()
+            if self._attached:
+                delays = self._retry.delays()
+                while True:
+                    try:
+                        faults.fire(f"catalog.{label}")
+                        result = fn(self._connection)
+                        self._breaker.record_success()
+                        return result
+                    except (sqlite3.Error, OSError) as exc:
+                        self._stats.errors += 1
+                        try:
+                            self._connection.rollback()
+                        except sqlite3.Error:
+                            pass
+                        opened = self._breaker.record_failure()
+                        if opened:
+                            self._degrade_locked(label, exc)
+                            break
+                        try:
+                            delay = next(delays)
+                        except StopIteration:
+                            self._breaker.trip()
+                            self._degrade_locked(label, exc)
+                            break
+                        self._stats.retries += 1
+                        time.sleep(delay)
+            try:
+                return fn(self._connection)
+            except sqlite3.Error:
+                self._stats.errors += 1
+                return default
+
     def close(self) -> None:
-        """Flush queued writes and close the underlying connection."""
-        self.flush()
+        """Flush queued writes and close the underlying connection.
+
+        A dead write-behind writer discovered during the flush has already
+        been accounted (``lost_writes``) — close proceeds regardless.
+        """
+        try:
+            self.flush()
+        except CatalogError:
+            pass  # loss already flagged in stats; close must still succeed
         with self._lock:
             if self._closed:
                 return
@@ -344,31 +545,98 @@ class DecompositionCatalog:
         with self._lock:
             if self._closed:
                 return
+            if self._writer is not None and not self._writer.is_alive():
+                # The write-behind thread died (an escaped BaseException):
+                # account whatever it stranded, then respawn below.
+                self._reap_dead_writer_locked()
             self._pending += 1
             if self._writer is None:
+                if self._writer_died:
+                    self._stats.writer_respawns += 1
+                    self._writer_died = False
                 self._writer = threading.Thread(
                     target=self._writer_loop, name="repro-catalog-writer", daemon=True
                 )
                 self._writer.start()
         self._queue.put(pending)
 
+    def _reap_dead_writer_locked(self) -> int:
+        """Account a dead writer's stranded queue; returns the writes lost.
+
+        The caller holds the lock.  Stranded writes are drained and counted
+        as ``lost_writes``, the pending counter is reset so later flushes
+        don't block on work nobody will do, and the circuit is tripped —
+        an unexplained writer death is not a healthy catalog.
+        """
+        lost = self._pending
+        self._stats.lost_writes += lost
+        self._pending = 0
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._writer = None
+        self._writer_died = True
+        self._breaker.trip()
+        self._drained.notify_all()
+        if lost:
+            logger.warning(
+                "catalog write-behind writer died; %d queued write(s) lost", lost
+            )
+        return lost
+
     def flush(self, timeout: float | None = 30.0) -> bool:
-        """Block until every queued write-behind store has been applied."""
+        """Block until every queued write-behind store has been applied.
+
+        Returns False if ``timeout`` elapses first.  Raises
+        :class:`~repro.exceptions.CatalogError` if the writer thread is
+        found dead with writes still queued — the loss is counted
+        (``lost_writes``), the circuit is tripped, and a later :meth:`put`
+        respawns the writer; silently dropping the queue is exactly the
+        failure mode this guard exists to surface.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._drained:
-            return self._drained.wait_for(lambda: self._pending == 0, timeout=timeout)
+            while self._pending:
+                writer = self._writer
+                if writer is not None and not writer.is_alive():
+                    lost = self._reap_dead_writer_locked()
+                    raise CatalogError(
+                        f"catalog write-behind writer died; {lost} queued "
+                        "write(s) were lost (the circuit is now open; the "
+                        "next put() respawns the writer)"
+                    )
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait = min(wait, remaining)
+                self._drained.wait(timeout=wait)
+            return True
 
     def stats(self) -> CatalogStats:
-        """A snapshot of this handle's traffic counters."""
+        """A snapshot of this handle's traffic and resilience counters."""
         with self._lock:
-            return replace(self._stats)
+            snapshot = replace(self._stats)
+        circuit = self._breaker.as_dict()
+        snapshot.circuit_state = circuit["state"]
+        snapshot.circuit_opens = circuit["opens"]
+        snapshot.circuit_probes = circuit["probes"]
+        snapshot.circuit_reattaches = circuit["reattaches"]
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # enumeration / maintenance (the CLI's surface)
     # ------------------------------------------------------------------ #
     def namespaces(self) -> list[str]:
         """All namespaces present in the file, sorted."""
-        rows = self._execute(
-            "SELECT DISTINCT namespace FROM entries ORDER BY namespace"
+        rows = self._run(
+            "query",
+            lambda connection: connection.execute(
+                "SELECT DISTINCT namespace FROM entries ORDER BY namespace"
+            ).fetchall(),
         )
         return [row[0] for row in rows] if rows is not None else []
 
@@ -385,20 +653,16 @@ class DecompositionCatalog:
         hypergraph are skipped (and counted) — enumeration never returns an
         untrusted record.
         """
-        clauses = ["namespace = ?"]
-        parameters: list = [namespace if namespace is not None else self.namespace]
-        if hash_prefix:
-            clauses.append("canonical_hash LIKE ?")
-            parameters.append(hash_prefix + "%")
-        if k is not None:
-            clauses.append("k = ?")
-            parameters.append(k)
-        rows = self._execute(
+        clauses, parameters = self._filters(namespace, hash_prefix, k)
+        sql = (
             "SELECT namespace, canonical_hash, k, configuration, algorithm, success, "
             "kind, certificate, hypergraph, statistics, wall_seconds, created_at, "
             f"code_version, validated FROM entries WHERE {' AND '.join(clauses)} "
-            "ORDER BY created_at, canonical_hash, k",
-            tuple(parameters),
+            "ORDER BY created_at, canonical_hash, k"
+        )
+        rows = self._run(
+            "query",
+            lambda connection: connection.execute(sql, tuple(parameters)).fetchall(),
         )
         records = []
         for row in rows or []:
@@ -418,6 +682,18 @@ class DecompositionCatalog:
         k: int | None = None,
     ) -> int:
         """Delete matching rows; returns the number removed."""
+        clauses, parameters = self._filters(namespace, hash_prefix, k)
+        sql = f"DELETE FROM entries WHERE {' AND '.join(clauses)}"
+
+        def delete(connection):
+            cursor = connection.execute(sql, tuple(parameters))
+            connection.commit()
+            return cursor.rowcount
+
+        removed = self._run("evict", delete, default=0)
+        return int(removed)
+
+    def _filters(self, namespace, hash_prefix, k) -> tuple[list, list]:
         clauses = ["namespace = ?"]
         parameters: list = [namespace if namespace is not None else self.namespace]
         if hash_prefix:
@@ -426,38 +702,19 @@ class DecompositionCatalog:
         if k is not None:
             clauses.append("k = ?")
             parameters.append(k)
-        with self._lock:
-            if self._closed:
-                return 0
-            try:
-                cursor = self._connection.execute(
-                    f"DELETE FROM entries WHERE {' AND '.join(clauses)}",
-                    tuple(parameters),
-                )
-                self._connection.commit()
-                return cursor.rowcount
-            except sqlite3.Error as exc:
-                self._connection = self._fall_back_to_memory(
-                    f"catalog evict failed: {exc}"
-                )
-                return 0
+        return clauses, parameters
 
     def vacuum(self) -> None:
         """Reclaim the space of evicted rows (SQLite ``VACUUM``)."""
         self.flush()
-        with self._lock:
-            if self._closed:
-                return
-            try:
-                self._connection.execute("VACUUM")
-            except sqlite3.Error as exc:
-                self._connection = self._fall_back_to_memory(
-                    f"catalog vacuum failed: {exc}"
-                )
+        self._run("vacuum", lambda connection: connection.execute("VACUUM"))
 
     def __len__(self) -> int:
-        rows = self._execute(
-            "SELECT COUNT(*) FROM entries WHERE namespace = ?", (self.namespace,)
+        rows = self._run(
+            "query",
+            lambda connection: connection.execute(
+                "SELECT COUNT(*) FROM entries WHERE namespace = ?", (self.namespace,)
+            ).fetchall(),
         )
         return int(rows[0][0]) if rows else 0
 
@@ -470,43 +727,29 @@ class DecompositionCatalog:
             return configuration
         return configuration_text(configuration)
 
-    def _execute(self, sql: str, parameters: tuple = ()) -> list | None:
-        with self._lock:
-            if self._closed:
-                return None
-            try:
-                return self._connection.execute(sql, parameters).fetchall()
-            except sqlite3.Error as exc:
-                self._connection = self._fall_back_to_memory(
-                    f"catalog query failed: {exc}"
-                )
-                return None
-
     def _fetch_row(self, canonical_hash: str, k: int, config_text: str):
-        rows = self._execute(
+        sql = (
             "SELECT namespace, canonical_hash, k, configuration, algorithm, success, "
             "kind, certificate, hypergraph, statistics, wall_seconds, created_at, "
             "code_version, validated FROM entries WHERE namespace = ? AND "
-            "canonical_hash = ? AND k = ? AND configuration = ?",
-            (self.namespace, canonical_hash, k, config_text),
+            "canonical_hash = ? AND k = ? AND configuration = ?"
+        )
+        parameters = (self.namespace, canonical_hash, k, config_text)
+        rows = self._run(
+            "get", lambda connection: connection.execute(sql, parameters).fetchall()
         )
         return rows[0] if rows else None
 
     def _delete_row(self, canonical_hash: str, k: int, config_text: str) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            try:
-                self._connection.execute(
-                    "DELETE FROM entries WHERE namespace = ? AND canonical_hash = ? "
-                    "AND k = ? AND configuration = ?",
-                    (self.namespace, canonical_hash, k, config_text),
-                )
-                self._connection.commit()
-            except sqlite3.Error as exc:
-                self._connection = self._fall_back_to_memory(
-                    f"catalog delete failed: {exc}"
-                )
+        def delete(connection):
+            connection.execute(
+                "DELETE FROM entries WHERE namespace = ? AND canonical_hash = ? "
+                "AND k = ? AND configuration = ?",
+                (self.namespace, canonical_hash, k, config_text),
+            )
+            connection.commit()
+
+        self._run("delete", delete)
 
     def _decode_row(self, row, host: Hypergraph | None) -> CatalogRecord | None:
         """Decode and (for positive entries) validate one row.
@@ -574,7 +817,22 @@ class DecompositionCatalog:
         while True:
             pending = self._queue.get()
             try:
+                faults.fire("catalog.writer")
                 self._write(pending)
+            except Exception:
+                # One queued write is lost; the writer itself survives.  A
+                # BaseException (thread killed) escapes past this handler —
+                # flush() and the next put() detect the dead thread.
+                logger.warning(
+                    "catalog write-behind failed unexpectedly for %s (k=%d); "
+                    "dropping this write",
+                    pending.canonical_hash[:12],
+                    pending.k,
+                    exc_info=True,
+                )
+                with self._lock:
+                    self._stats.lost_writes += 1
+                    self._stats.errors += 1
             finally:
                 with self._drained:
                     self._pending -= 1
@@ -627,25 +885,25 @@ class DecompositionCatalog:
             __version__,
             int(validated),
         )
+
+        def insert(connection):
+            cursor = connection.execute(
+                "INSERT OR IGNORE INTO entries (namespace, canonical_hash, k, "
+                "configuration, algorithm, success, kind, certificate, hypergraph, "
+                "statistics, wall_seconds, created_at, code_version, validated) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                row,
+            )
+            connection.commit()
+            return cursor.rowcount
+
+        rowcount = self._run("put", insert)
         with self._lock:
-            if self._closed:
-                return
-            try:
-                cursor = self._connection.execute(
-                    "INSERT OR IGNORE INTO entries (namespace, canonical_hash, k, "
-                    "configuration, algorithm, success, kind, certificate, hypergraph, "
-                    "statistics, wall_seconds, created_at, code_version, validated) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    row,
-                )
-                self._connection.commit()
-                if cursor.rowcount:
-                    self._stats.stores += 1
-                else:
-                    # Another handle/process stored the key first: the
-                    # INSERT OR IGNORE race resolution, not an error.
-                    self._stats.duplicate_stores += 1
-            except sqlite3.Error as exc:
-                self._connection = self._fall_back_to_memory(
-                    f"catalog write failed: {exc}"
-                )
+            if rowcount is None:
+                pass  # even the shadow failed; already counted as an error
+            elif rowcount:
+                self._stats.stores += 1
+            else:
+                # Another handle/process stored the key first: the
+                # INSERT OR IGNORE race resolution, not an error.
+                self._stats.duplicate_stores += 1

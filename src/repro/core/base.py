@@ -62,6 +62,9 @@ class SearchStatistics:
     #: (dominated candidate pools, per-component splitter reuse).
     mask_table_builds: int = 0
     bitset_memo_hits: int = 0
+    #: Resilience counter (PR 8): replacement processes spawned by the
+    #: parallel backend's supervisor after a worker died mid-search.
+    worker_respawns: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record_call(self, depth: int) -> None:
@@ -88,6 +91,7 @@ class SearchStatistics:
         self.splitter_memo_misses += other.splitter_memo_misses
         self.mask_table_builds += other.mask_table_builds
         self.bitset_memo_hits += other.bitset_memo_hits
+        self.worker_respawns += other.worker_respawns
         for stage, seconds in other.stage_seconds.items():
             self.record_stage(stage, seconds)
 
@@ -101,6 +105,7 @@ class SearchStatistics:
             "splitter_memo_misses": self.splitter_memo_misses,
             "mask_table_builds": self.mask_table_builds,
             "bitset_memo_hits": self.bitset_memo_hits,
+            "worker_respawns": self.worker_respawns,
         }
 
 

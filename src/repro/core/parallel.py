@@ -24,12 +24,14 @@ the Python implementation portable.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import queue as pyqueue
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
+from .. import faults
 from ..decomp.covers import CoverEnumerator
 from ..decomp.extended import FragmentNode, full_bitcomp
 from ..exceptions import SolverError
@@ -41,6 +43,8 @@ from .hybrid import HybridDecomposer, make_metric
 from .logk import LogKSearch
 
 __all__ = ["ParallelLogKDecomposer"]
+
+logger = logging.getLogger("repro.parallel")
 
 
 class _EitherEvent:
@@ -56,14 +60,27 @@ class _EitherEvent:
         return self.first.is_set() or self.second.is_set()
 
 
-def _worker_search_to_queue(result_queue, args: tuple) -> None:
+def _worker_search_to_queue(result_queue, slot, attempt, fault_spec, args: tuple) -> None:
     """Process-backend entry point: run the search, ship the outcome back.
 
-    Every worker puts exactly one result (``_worker_search`` converts any
-    internal failure into a ``timed_out`` outcome), so the coordinator can
-    count results instead of trusting pool machinery.
+    Every worker puts exactly one slot-tagged result (``_worker_search``
+    converts any internal failure into a ``timed_out`` outcome), so the
+    coordinator tracks completion per partition instead of trusting pool
+    machinery.  ``fault_spec`` re-creates the parent's fault injector in the
+    child (injection must behave identically under fork and spawn); the
+    ``parallel.worker`` point fired here carries ``slot``/``attempt``
+    context, so a chaos schedule can kill attempt 0 of a slot and let its
+    respawned replacement live.
     """
-    result_queue.put(_worker_search(*args))
+    faults.install_spec(fault_spec)
+    try:
+        faults.fire("parallel.worker", slot=slot, attempt=attempt)
+        outcome = _worker_search(*args)
+    except Exception:
+        # An injected (or otherwise escaped) error: report the partition as
+        # undecided rather than dying without a word.
+        outcome = (True, False, None, SearchStatistics())
+    result_queue.put((slot, outcome))
 
 
 def _worker_search(
@@ -241,6 +258,15 @@ class ParallelLogKDecomposer(Decomposer):
             self.subedge_domination,
         )
 
+    #: A dead worker's result may still be in flight through the queue's
+    #: feeder thread when ``is_alive`` first reports False; only after this
+    #: many consecutive empty sweeps is the slot treated as crashed.
+    _DEAD_STRIKES = 2
+    #: Respawn budget per partition slot; beyond it the slot is abandoned
+    #: (the run degrades to undecided instead of looping on a doomed
+    #: partition).
+    _MAX_RESPAWNS_PER_SLOT = 2
+
     def _run_processes(
         self,
         hypergraph: Hypergraph,
@@ -254,22 +280,38 @@ class ParallelLogKDecomposer(Decomposer):
         # still blocked writing while terminate joins it (observed under
         # CPython 3.11), and this backend's only need is "first success
         # kills the rest", which Process.terminate does reliably.
+        #
+        # The coordinator supervises the pool: a worker that dies without
+        # reporting (OOM-killed, injected ``kill``) is respawned on the same
+        # partition — the search is pure, so recomputing a partition is
+        # sound — up to ``_MAX_RESPAWNS_PER_SLOT`` attempts, after which the
+        # slot is abandoned and the run degrades to undecided.
         context = mp.get_context()
         stats = SearchStatistics()
         timed_out = False
         result_queue = context.Queue()
-        workers = [
-            context.Process(
+        fault_spec = faults.current_spec()
+
+        def spawn(slot: int, attempt: int):
+            worker = context.Process(
                 target=_worker_search_to_queue,
-                args=(result_queue, self._worker_args(hypergraph, k, part, timeout)),
+                args=(
+                    result_queue,
+                    slot,
+                    attempt,
+                    fault_spec,
+                    self._worker_args(hypergraph, k, partitions[slot], timeout),
+                ),
                 daemon=True,
             )
-            for part in partitions
-        ]
-        for worker in workers:
             worker.start()
+            return worker
+
+        workers = {slot: spawn(slot, 0) for slot in range(len(partitions))}
+        attempts = dict.fromkeys(workers, 0)
+        strikes = dict.fromkeys(workers, 0)
+        pending = set(workers)
         try:
-            pending = len(workers)
             while pending:
                 # External cancellation (a threading.Event cannot cross the
                 # process boundary): terminate the workers in the finally
@@ -277,47 +319,56 @@ class ParallelLogKDecomposer(Decomposer):
                 if cancel_event is not None and cancel_event.is_set():
                     return True, False, None, stats
                 try:
-                    outcome = result_queue.get(timeout=0.1)
+                    slot, outcome = result_queue.get(timeout=0.1)
                 except pyqueue.Empty:
-                    if not any(worker.is_alive() for worker in workers):
-                        # A worker died without reporting (e.g. killed by the
-                        # OS).  Drain what was flushed, then give up on the
-                        # missing results: no sound "no" answer is possible,
-                        # so report the run as undecided (timed out).
-                        drained = self._drain(result_queue)
-                        for worker_timeout, success, fragment, worker_stats in drained:
-                            stats.merge(worker_stats)
-                            timed_out = timed_out or worker_timeout
-                            if success:
-                                return False, True, fragment, stats
-                        if len(drained) < pending:
+                    for dead in sorted(pending):
+                        if workers[dead].is_alive():
+                            strikes[dead] = 0
+                            continue
+                        strikes[dead] += 1
+                        if strikes[dead] < self._DEAD_STRIKES:
+                            continue
+                        if attempts[dead] >= self._MAX_RESPAWNS_PER_SLOT:
+                            logger.warning(
+                                "parallel worker slot %d died %d times "
+                                "(last exit code %s); abandoning its "
+                                "partition — the run degrades to undecided",
+                                dead,
+                                attempts[dead] + 1,
+                                workers[dead].exitcode,
+                            )
+                            pending.discard(dead)
                             timed_out = True
-                        return timed_out, False, None, stats
+                            continue
+                        attempts[dead] += 1
+                        strikes[dead] = 0
+                        stats.worker_respawns += 1
+                        logger.warning(
+                            "parallel worker slot %d died (exit code %s); "
+                            "respawning attempt %d on the same partition",
+                            dead,
+                            workers[dead].exitcode,
+                            attempts[dead],
+                        )
+                        workers[dead] = spawn(dead, attempts[dead])
                     continue
-                pending -= 1
+                if slot not in pending:
+                    continue  # stale twin from a slot already resolved
+                pending.discard(slot)
                 worker_timeout, success, fragment, worker_stats = outcome
                 stats.merge(worker_stats)
                 timed_out = timed_out or worker_timeout
                 if success:
                     return False, True, fragment, stats
         finally:
-            for worker in workers:
+            for worker in workers.values():
                 if worker.is_alive():
                     worker.terminate()
-            for worker in workers:
+            for worker in workers.values():
                 worker.join()
             result_queue.close()
             result_queue.cancel_join_thread()
         return timed_out, False, None, stats
-
-    @staticmethod
-    def _drain(result_queue) -> list[tuple]:
-        outcomes = []
-        while True:
-            try:
-                outcomes.append(result_queue.get_nowait())
-            except pyqueue.Empty:
-                return outcomes
 
     def _run_threads(
         self,

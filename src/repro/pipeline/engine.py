@@ -60,6 +60,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
+from .. import faults
 from ..catalog import DecompositionCatalog
 from ..core.base import Decomposer, DecompositionResult, SearchStatistics
 from ..decomp.decomposition import (
@@ -267,6 +268,11 @@ class DecompositionEngine:
         machinery the parallel backend uses to stop superfluous workers.
         Cancelled runs are never cached.
         """
+        # An error injected here propagates like any engine bug would:
+        # through the decomposer into the caller (or the service worker's
+        # task-failure path) — the chaos suite uses it to assert failure
+        # propagation stays debuggable end to end.
+        faults.fire("engine.decompose", algorithm=decomposer.name, k=k)
         start = time.monotonic()
         stats = SearchStatistics()
 

@@ -26,6 +26,17 @@ cache: the selftest's decided outcomes are persisted, a second run with the
 same catalog answers them from disk instead of recomputing (the report
 shows the L2 hit/store counters), and the file can be inspected with
 ``python -m repro.catalog list PATH``.
+
+``--chaos [--chaos-seed N]`` runs the same scenario under a seeded,
+*bounded* fault schedule (see :mod:`repro.faults`): transient-then-persistent
+catalog errors that trip the circuit breaker, service-worker crashes below
+the poison threshold, OOM-killed process workers in the parallel backend,
+and random dispatch delays.  Every injected outage ends (rule ``times``
+budgets), so on top of the normal invariants the chaos run asserts
+*recovery*: answers byte-identical to a fault-free run, exactly-once
+memoization intact, the catalog re-attached (circuit closed again), at
+least one worker crash survived and at least one process worker respawned,
+and a clean bounded shutdown.
 """
 
 from __future__ import annotations
@@ -33,13 +44,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import threading
 from collections.abc import Sequence
+from pathlib import Path
+from random import Random
 
+from . import faults
+from .core.codec import decomposition_to_json
 from .decomp.validation import validate_hd
 from .hypergraph import generators
 from .hypergraph.cq import parse_conjunctive_query
 from .pipeline.engine import DecompositionEngine
+from .pipeline.registry import registry
 from .query.database import random_database_for_query
 from .service import DecompositionService
 
@@ -57,19 +74,87 @@ SELFTEST_INSTANCES = (
 
 SELFTEST_QUERY = "ans(x, z) :- r(x,y), s(y,z), t(z,x)."
 
+#: The chaos run's parallel-backend probe: a request forced through the
+#: process backend so an injected worker kill (and the supervised respawn)
+#: is actually exercised.  ``hybrid=False`` keeps its search deterministic
+#: enough to decide correctly from any surviving partition.
+CHAOS_PARALLEL_PROBE = (lambda: generators.cycle(10), 2, True)
+
+
+def chaos_rules(seed: int) -> list:
+    """The seeded, bounded fault schedule of a ``--chaos`` run.
+
+    Every rule's budget (``times``) is finite, so each injected outage ends
+    and the recovery paths — catalog circuit re-attach, worker revival,
+    process respawn — always get their turn; that is what lets the chaos
+    invariants assert *recovery*, not merely degradation.
+    """
+    import sqlite3
+
+    rng = Random(seed)
+    transient = sqlite3.OperationalError("chaos: disk I/O error")
+    return [
+        # Enough consecutive read failures to exhaust the retry policy and
+        # open the catalog's circuit, plus a few writes failing around it.
+        faults.FaultRule(point="catalog.get", error=transient, times=rng.randint(4, 8)),
+        faults.FaultRule(point="catalog.put", error=transient, times=rng.randint(1, 3)),
+        # One write-behind application blows up (the writer survives it).
+        faults.FaultRule(
+            point="catalog.writer", error=RuntimeError("chaos: writer hiccup"), times=1
+        ),
+        # Random short stalls shake up the dispatch interleaving.
+        faults.FaultRule(
+            point="service.worker",
+            delay=0.001 + 0.004 * rng.random(),
+            probability=0.2,
+            times=20,
+        ),
+        faults.FaultRule(
+            point="engine.decompose",
+            delay=0.001 + 0.004 * rng.random(),
+            probability=0.1,
+            times=10,
+        ),
+        # Two worker crashes — deliberately below the default poison
+        # threshold (3), so even both landing on one key must still end in
+        # a served answer, never a quarantine.
+        faults.FaultRule(
+            point="service.worker",
+            error=RuntimeError("chaos: dispatch crash"),
+            times=2,
+            skip=rng.randint(0, 5),
+        ),
+        # Every first-attempt process worker is OOM-killed; the respawned
+        # replacements (attempt 1) decide the parallel probe.
+        faults.FaultRule(point="parallel.worker", kill=True, where={"attempt": 0}),
+    ]
+
 
 def run_selftest(
     workers: int = 4,
     clients: int = 8,
     repeats: int = 3,
     catalog: str | None = None,
+    chaos_seed: int | None = None,
 ) -> tuple[bool, str, dict]:
     """Run the concurrent smoke scenario; returns (ok, report text, stats dict).
 
     ``catalog`` (a path) makes the engine persist decided outcomes to a
     durable :class:`~repro.catalog.DecompositionCatalog` and serve repeats
     of previously-seen instances from it across process restarts.
+
+    ``chaos_seed`` switches on chaos mode: the scenario runs under the
+    seeded bounded fault schedule of :func:`chaos_rules` and additionally
+    asserts the recovery invariants (byte-identical answers, catalog
+    re-attach, surviving worker pool).  A chaos run without an explicit
+    ``catalog`` uses a throwaway temporary one — the circuit-breaker ladder
+    needs a durable tier to break and re-attach.
     """
+    chaos = chaos_seed is not None
+    temp_dir = None
+    if chaos and catalog is None:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        catalog = str(Path(temp_dir.name) / "chaos-catalog.db")
     instances = [(factory(), k, expect) for factory, k, expect in SELFTEST_INSTANCES]
     query = parse_conjunctive_query(SELFTEST_QUERY, name="selftest")
     database = random_database_for_query(query, domain_size=8, tuples_per_relation=40)
@@ -108,18 +193,87 @@ def run_selftest(
         except Exception as exc:  # noqa: BLE001 - surfaced in the report
             failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
 
+    injector = None
+    previous = None
+    if chaos:
+        injector = faults.FaultInjector(rules=chaos_rules(chaos_seed), seed=chaos_seed)
+        previous = faults.install(injector)
+
     # daemon=True: if a regression deadlocks a ticket (the very bug this
     # selftest exists to catch) the process must still exit 1 instead of
     # hanging in interpreter shutdown on a stuck non-daemon thread.
     threads = [
         threading.Thread(target=client, args=(i,), daemon=True) for i in range(clients)
     ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join(timeout=120)
-        if thread.is_alive():
-            failures.append("client thread did not finish (possible deadlock)")
+    probe_ticket = None
+    try:
+        for thread in threads:
+            thread.start()
+        if chaos:
+            # The parallel-backend probe rides alongside the client storm so
+            # the injected process-worker kills (and the respawns proving
+            # them survivable) happen under real concurrent load.
+            probe_factory, probe_k, _probe_expect = CHAOS_PARALLEL_PROBE
+            probe_ticket = service.submit(
+                probe_factory(),
+                probe_k,
+                algorithm="log-k-decomp-parallel",
+                num_workers=2,
+                hybrid=False,
+            )
+        for thread in threads:
+            thread.join(timeout=120)
+            if thread.is_alive():
+                failures.append("client thread did not finish (possible deadlock)")
+        if probe_ticket is not None:
+            try:
+                probe_result = probe_ticket.result(timeout=120)
+                if probe_result.timed_out or not probe_result.success:
+                    failures.append(
+                        "chaos: the parallel probe did not decide its instance "
+                        "despite worker respawns"
+                    )
+            except Exception as exc:  # noqa: BLE001 - surfaced in the report
+                failures.append(f"chaos: parallel probe failed: {exc}")
+    finally:
+        if injector is not None:
+            # Recovery must be asserted on a *fault-free* substrate: leftover
+            # rule budget re-tripping the circuit during the re-attach probe
+            # below would make the invariants flaky.
+            if previous is not None:
+                faults.install(previous)
+            else:
+                faults.uninstall()
+
+    if chaos:
+        # The outage is over: the catalog must come back (forced half-open
+        # probe, shadow rows replayed), and every answer computed under
+        # chaos must be byte-identical to a fault-free computation.
+        if not service.engine.catalog.probe():
+            failures.append("chaos: the catalog did not re-attach after the outage")
+        baseline_engine = DecompositionEngine()
+        for hypergraph, k, expect in instances:
+            label = hypergraph.name or f"instance(k={k})"
+            try:
+                replay = service.submit(hypergraph, k).result(timeout=60)
+            except Exception as exc:  # noqa: BLE001 - surfaced in the report
+                failures.append(f"chaos: replay of {label} failed: {exc}")
+                continue
+            base = baseline_engine.decompose(registry.build("hybrid"), hypergraph, k)
+            if base.success is not replay.success:
+                failures.append(f"chaos: decision for {label} diverges from fault-free run")
+            elif base.success and decomposition_to_json(
+                base.decomposition
+            ) != decomposition_to_json(replay.decomposition):
+                failures.append(f"chaos: answer for {label} is not byte-identical "
+                                "to the fault-free run")
+
+    if chaos:
+        # Pool liveness must be observed while the service is still up —
+        # after shutdown the workers have (correctly) exited.
+        live = service.stats().health
+        if live["workers_alive"] != live["workers_total"]:
+            failures.append("chaos: the worker pool shrank")
     # Only wait for the pool on a clean run: with a failure detected the
     # workers may be wedged, and a bounded exit with rc=1 (all threads are
     # daemons) beats hanging the CI job on an unbounded join.
@@ -130,10 +284,29 @@ def run_selftest(
         service.engine.catalog.flush()
 
     stats = service.stats()
-    unique_decompositions = len(instances)
+    unique_decompositions = len(instances) + (1 if chaos else 0)
     total = clients * repeats * (len(instances) + 3)
+    if chaos:
+        total += 1 + len(instances)  # the parallel probe and the replay pass
     if stats.completed != total:
         failures.append(f"completed {stats.completed} of {total} requests")
+    if chaos:
+        health = stats.health
+        if health["worker_crashes"] < 1:
+            failures.append("chaos: no worker crash was exercised")
+        if health["worker_respawns"] < 1:
+            failures.append("chaos: no worker was respawned")
+        if health["quarantined"] != 0:
+            failures.append("chaos: a sub-threshold key was wrongly quarantined")
+        if health["process_worker_respawns"] < 1:
+            failures.append("chaos: no process worker respawn was exercised")
+        circuit = health["catalog_circuit"]
+        if circuit is None or circuit["reattaches"] < 1:
+            failures.append("chaos: the catalog circuit never re-attached")
+        elif circuit["state"] != "closed":
+            failures.append("chaos: the catalog circuit is still open after recovery")
+        if stats.catalog is not None and stats.catalog.memory_fallback:
+            failures.append("chaos: the catalog is still serving memory-only")
     if stats.coalesced + stats.fast_path_hits == 0:
         failures.append("no request was coalesced or served from the memo")
     # Decomposition results are memoized, so across the whole run each
@@ -169,11 +342,34 @@ def run_selftest(
             f"{stats.catalog.validate_rejects} validate-rejects"
             + (" [memory fallback]" if stats.catalog.memory_fallback else "")
         )
+    if chaos:
+        health = stats.health
+        circuit = health.get("catalog_circuit") or {}
+        lines += [
+            f"  chaos seed {chaos_seed:<8}: {injector.total_injected()} faults "
+            f"injected across {len(injector.injected_counts())} points",
+            f"  worker crashes     : {health['worker_crashes']} "
+            f"(respawns {health['worker_respawns']}, "
+            f"requeued {health['tasks_requeued']}, "
+            f"quarantined {health['quarantined']})",
+            f"  process respawns   : {health['process_worker_respawns']}",
+            f"  catalog circuit    : {circuit.get('state')} "
+            f"(opens {circuit.get('opens')}, reattaches {circuit.get('reattaches')}, "
+            f"retries {circuit.get('retries')})",
+        ]
     lines += [f"  FAIL: {failure}" for failure in failures]
     lines.append("  result: " + ("OK" if ok else "FAILED"))
     snapshot = stats.as_dict()
     snapshot["selftest_ok"] = ok
     snapshot["failures"] = list(failures)
+    if chaos:
+        snapshot["chaos"] = {
+            "seed": chaos_seed,
+            "injected": injector.injected_counts(),
+        }
+        if temp_dir is not None:
+            service.engine.catalog.close()
+            temp_dir.cleanup()
     return ok, "\n".join(lines), snapshot
 
 
@@ -199,6 +395,19 @@ def _parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist decided outcomes to a durable catalog (SQLite) at PATH",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the selftest under a seeded bounded fault schedule and "
+        "assert the recovery invariants",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the chaos fault schedule (default 0)",
+    )
     return parser
 
 
@@ -214,6 +423,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         clients=args.clients,
         repeats=args.repeats,
         catalog=args.catalog,
+        chaos_seed=args.chaos_seed if args.chaos else None,
     )
     if args.json:
         print(json.dumps(stats, indent=2))

@@ -48,6 +48,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
 
+from .. import faults
 from ..core.base import DecompositionResult
 from ..exceptions import ServiceError, SolverError, TimeoutExceeded
 from ..hypergraph import Hypergraph
@@ -89,8 +90,11 @@ class _Task:
         "cancel_event",
         "cancelled",
         "started",
+        "attempts",
+        "counted",
         "result",
         "error",
+        "error_tb",
     )
 
     def __init__(self, key: tuple, priority: int, run, memoize: bool) -> None:
@@ -103,8 +107,21 @@ class _Task:
         self.cancel_event = threading.Event()
         self.cancelled = False
         self.started = False
+        #: Number of times this task crashed its worker (not counting
+        #: ordinary failures, which finalize on the first delivery); the
+        #: poison-quarantine threshold compares against it.
+        self.attempts = 0
+        #: Whether this task was already counted as a computation — crash
+        #: retries re-run the same logical computation, so it counts once.
+        self.counted = False
         self.result = None
         self.error: BaseException | None = None
+        #: The worker-side traceback captured at finalize time.  Re-raising
+        #: through :meth:`ServiceTicket.result` restores it on every raise,
+        #: so coalesced waiters each see the pristine worker frames instead
+        #: of an ever-growing chain of re-raise frames on the shared
+        #: exception instance.
+        self.error_tb = None
 
 
 class ServiceTicket:
@@ -140,10 +157,12 @@ class ServiceTicket:
         Raises :class:`~repro.exceptions.TimeoutExceeded` if the wait (not
         the computation) times out, :class:`~repro.exceptions.ServiceError`
         if this ticket was cancelled, and re-raises the worker's exception
-        if the computation itself failed.  Like
-        :meth:`concurrent.futures.Future.result`, coalesced tickets
-        re-raise the *same* exception instance — don't mutate it (e.g. via
-        ``add_note``) if other waiters may still observe it.
+        if the computation itself failed — with the worker-side traceback
+        restored, so the frames that actually failed are debuggable from
+        the caller.  Like :meth:`concurrent.futures.Future.result`,
+        coalesced tickets re-raise the *same* exception instance — don't
+        mutate it (e.g. via ``add_note``) if other waiters may still
+        observe it.
         """
         if self.cancelled:
             raise ServiceError("request was cancelled")
@@ -155,8 +174,13 @@ class ServiceTicket:
             # returning would hand the caller nothing instead of the
             # documented error.
             raise ServiceError("request was cancelled")
-        if self._task.error is not None:
-            raise self._task.error
+        error = self._task.error
+        if error is not None:
+            # ``raise error`` alone would *append* this frame to the shared
+            # instance's traceback on every coalesced waiter's call;
+            # restoring the traceback captured at finalize time keeps each
+            # raise anchored at the worker frames that actually failed.
+            raise error.with_traceback(self._task.error_tb)
         return self._task.result
 
     def cancel(self) -> bool:
@@ -207,6 +231,11 @@ class ServiceStats:
     #: a :class:`repro.catalog.CatalogStats` with hit / miss /
     #: validate-reject / store counters and the memory-fallback flag.
     catalog: object | None = None
+    #: The resilience snapshot (PR 8): worker liveness, crash / respawn /
+    #: requeue / quarantine counters, process-backend respawns, and the
+    #: catalog circuit breaker's state — everything the chaos suite asserts
+    #: recovery on.
+    health: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """A JSON-friendly rendering (used by ``python -m repro.serve``)."""
@@ -232,6 +261,7 @@ class ServiceStats:
                 for s in self.engine_cache_shards
             ],
             "catalog": self.catalog.as_dict() if self.catalog is not None else None,
+            "health": dict(self.health),
         }
 
 
@@ -259,6 +289,11 @@ class DecompositionService:
     latency_window:
         Number of most recent request latencies kept for the p50/p95
         snapshot.
+    poison_threshold:
+        Number of worker crashes (exceptions escaping task execution — not
+        ordinary failures, which finalize on first delivery) after which a
+        task is quarantined: finalized as failed with a descriptive
+        :class:`ServiceError` instead of retried forever or left hanging.
     """
 
     def __init__(
@@ -269,10 +304,14 @@ class DecompositionService:
         query_engine: QueryEngine | None = None,
         result_memo_entries: int = 4096,
         latency_window: int = 2048,
+        poison_threshold: int = 3,
         **algorithm_options,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
+        if poison_threshold < 1:
+            raise ServiceError("poison_threshold must be >= 1")
+        self.poison_threshold = poison_threshold
         self.engine = engine if engine is not None else default_engine()
         self.algorithm = algorithm
         # timeout is handled as an explicit parameter everywhere downstream
@@ -298,6 +337,10 @@ class DecompositionService:
         self._fast_path_hits = 0
         self._failed = 0
         self._cancelled = 0
+        self._worker_crashes = 0
+        self._worker_respawns = 0
+        self._tasks_requeued = 0
+        self._quarantined = 0
         #: Aggregated search-kernel counters of every decomposition computed
         #: by this service (see SearchStatistics.search_counters): cache and
         #: memo-served requests do not add to them, so the snapshot reflects
@@ -495,11 +538,65 @@ class DecompositionService:
     # worker pool
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:
+        """Drain tasks until the shutdown sentinel arrives — supervised.
+
+        :meth:`_execute` converts *task* failures into ticket outcomes, so
+        nothing should escape it; but an exception that does (the
+        ``service.worker`` fault point injects exactly that, simulating a
+        bug in the dispatch path itself) would kill the thread and silently
+        shrink the pool.  The supervisor instead hands the task to
+        :meth:`_supervise_crash` (requeue / quarantine / fail) and revives
+        the worker in place — the pool never shrinks and no ticket is left
+        hanging.
+        """
         while True:
             _priority, _seq, task = self._queue.get()
             if task is None:
                 return
-            self._execute(task)
+            try:
+                faults.fire("service.worker", kind=task.key[0], attempt=task.attempts)
+                self._execute(task)
+            except BaseException as exc:
+                self._supervise_crash(task, exc)
+
+    def _supervise_crash(self, task: _Task, exc: BaseException) -> None:
+        """A task crashed its worker: requeue it, quarantine it, or fail it.
+
+        Runs on the reviving worker thread.  A key that keeps crashing
+        workers is poison — after ``poison_threshold`` crashes it is
+        finalized as failed with a descriptive error chaining the last
+        crash, instead of being retried forever or leaving its tickets
+        hanging.
+        """
+        with self._lock:
+            self._worker_crashes += 1
+            self._worker_respawns += 1
+            if task.done.is_set():
+                return
+            task.attempts += 1
+            task.started = False
+            if task.cancelled:
+                self._finalize_locked(task, None, None)
+                return
+            if task.attempts >= self.poison_threshold:
+                self._quarantined += 1
+                error: BaseException = ServiceError(
+                    f"request {task.key[0]!r} key quarantined after "
+                    f"{task.attempts} worker crash(es); last crash: {exc!r}"
+                )
+                error.__cause__ = exc
+                self._finalize_locked(task, None, error)
+                return
+            if self._closed:
+                # The sentinels may already be drained; a requeued task
+                # could sit in the queue forever with no worker coming back
+                # for it.  Fail it loudly instead of hanging its tickets.
+                error = ServiceError("service shut down while retrying a crashed request")
+                error.__cause__ = exc
+                self._finalize_locked(task, None, error)
+                return
+            self._tasks_requeued += 1
+            self._queue.put((task.priority, next(self._seq), task))
 
     def _execute(self, task: _Task) -> None:
         with self._lock:
@@ -509,9 +606,16 @@ class DecompositionService:
                 self._finalize_locked(task, None, None)
                 return
             task.started = True
-            self._computations += 1
-            kind = task.key[0]
-            self._computations_by_kind[kind] = self._computations_by_kind.get(kind, 0) + 1
+            if not task.counted:
+                # Crash retries re-execute the same logical computation;
+                # counting it once keeps the exactly-once accounting
+                # (computations <= distinct keys) honest under chaos.
+                task.counted = True
+                self._computations += 1
+                kind = task.key[0]
+                self._computations_by_kind[kind] = (
+                    self._computations_by_kind.get(kind, 0) + 1
+                )
         try:
             result = task.run(task.cancel_event)
             error = None
@@ -546,6 +650,10 @@ class DecompositionService:
             del self._inflight[task.key]
         task.result = result
         task.error = error
+        # Pin the worker-side traceback now: each ServiceTicket.result()
+        # re-raise restores it, so coalesced waiters don't stack re-raise
+        # frames onto the shared instance.
+        task.error_tb = error.__traceback__ if error is not None else None
         # Counters are per *ticket* (request), so that eventually
         # submitted == completed + failed + cancelled holds; individually
         # cancelled tickets were already counted by _cancel_ticket.
@@ -609,6 +717,23 @@ class DecompositionService:
                 inflight=len(self._inflight),
                 workers=len(self._workers),
                 search_counters=dict(self._search_counters),
+                health={
+                    "workers_alive": sum(
+                        1 for worker in self._workers if worker.is_alive()
+                    ),
+                    "workers_total": len(self._workers),
+                    "worker_crashes": self._worker_crashes,
+                    "worker_respawns": self._worker_respawns,
+                    "tasks_requeued": self._tasks_requeued,
+                    "quarantined": self._quarantined,
+                    # Replacement *processes* spawned by the parallel
+                    # backend's supervisor, aggregated over this service's
+                    # computations (see SearchStatistics.worker_respawns).
+                    "process_worker_respawns": self._search_counters.get(
+                        "worker_respawns", 0
+                    ),
+                    "catalog_circuit": None,
+                },
             )
         samples.sort()
         stats.latency_p50 = _percentile(samples, 0.50)
@@ -622,6 +747,14 @@ class DecompositionService:
         catalog = getattr(self.engine, "catalog", None)
         if catalog is not None:
             stats.catalog = catalog.stats()
+            stats.health["catalog_circuit"] = {
+                "state": stats.catalog.circuit_state,
+                "opens": stats.catalog.circuit_opens,
+                "probes": stats.catalog.circuit_probes,
+                "reattaches": stats.catalog.circuit_reattaches,
+                "retries": stats.catalog.retries,
+                "memory_fallback": stats.catalog.memory_fallback,
+            }
         return stats
 
     # ------------------------------------------------------------------ #

@@ -398,3 +398,149 @@ def test_serialized_configuration_key_is_stable():
     assert configuration_text(("algo", frozenset({"x"}))) != configuration_text(
         ("algo", frozenset({"y"}))
     )
+
+
+# --------------------------------------------------------------------------- #
+# resilience: retry, circuit breaker, re-attach, writer supervision
+# --------------------------------------------------------------------------- #
+def test_transient_error_is_retried_invisibly(tmp_path):
+    from repro import faults
+    from repro import hypertree_width
+
+    h = generators.cycle(6)
+    width, hd = hypertree_width(h)
+    with DecompositionCatalog(tmp_path / "cat.db", synchronous_writes=True) as catalog:
+        catalog.put(h, width, ("cfg",), algorithm="test", success=True, decomposition=hd)
+        rule = faults.FaultRule(
+            point="catalog.get", error=sqlite3.OperationalError("disk I/O error"), times=1
+        )
+        with faults.injected(rule):
+            record = catalog.get(h, width, ("cfg",))
+        assert record is not None and record.success  # the caller never noticed
+        stats = catalog.stats()
+        assert stats.retries == 1
+        assert stats.circuit_state == "closed"
+        assert not stats.memory_fallback
+
+
+def test_mid_run_corruption_opens_circuit_then_reattaches(tmp_path, caplog):
+    from repro import faults
+
+    path = str(tmp_path / "cat.db")
+    catalog = DecompositionCatalog(path, reset_interval=3600.0)
+    engine = DecompositionEngine(catalog=catalog)
+    decomposer = LogKDecomposer(engine=engine)
+
+    # Warm start: one decided instance in L1 and (after flush) in the file.
+    assert decomposer.decompose(generators.cycle(6), 2).success
+    catalog.flush()
+
+    # Mid-run corruption: reads and writes against the file now fail
+    # persistently.  (Not ``catalog.*``: that would also hit the
+    # ``catalog.writer`` fault point and drop the write before it reaches
+    # the shadow database this test asserts the replay of.)
+    rules = [
+        faults.FaultRule(
+            point=point,
+            error=sqlite3.OperationalError("database disk image is malformed"),
+            times=50,
+        )
+        for point in ("catalog.get", "catalog.put", "catalog.query")
+    ]
+    with caplog.at_level(logging.WARNING, logger="repro.catalog"):
+        with faults.injected(*rules):
+            # An L1 hit never touches the broken catalog.
+            warm = decomposer.decompose(generators.cycle(6), 2)
+            assert warm.success
+            assert "decompose" not in warm.statistics.stage_seconds
+            # An L1 miss drives the retry ladder until the circuit opens,
+            # then computes and stores into the in-memory shadow.
+            fresh = decomposer.decompose(generators.cycle(8), 2)
+            assert fresh.success
+            validate_hd(fresh.decomposition)
+            catalog.flush()
+            mid = catalog.stats()
+            assert mid.circuit_state == "open"
+            assert mid.memory_fallback
+            assert mid.circuit_opens >= 1
+            assert mid.retries >= 1
+            # L1 keeps answering correctly the whole time the circuit is open.
+            again = decomposer.decompose(generators.cycle(8), 2)
+            assert again.success
+            assert "decompose" not in again.statistics.stage_seconds
+    assert any("memory-only" in message for message in caplog.messages)
+
+    # Faults gone: a forced probe re-attaches and replays the shadow rows.
+    assert catalog.probe()
+    healed = catalog.stats()
+    assert healed.circuit_state == "closed"
+    assert not healed.memory_fallback
+    assert healed.circuit_reattaches >= 1
+    assert healed.reattach_replays >= 1  # the cycle8 row written while degraded
+    catalog.close()
+
+    # The replayed row is durable: a fresh handle serves it from the file.
+    fresh_engine = DecompositionEngine(catalog=path)
+    served = LogKDecomposer(engine=fresh_engine).decompose(generators.cycle(8), 2)
+    assert served.success
+    assert "decompose" not in served.statistics.stage_seconds
+    fresh_engine.catalog.close()
+
+
+class _WriterKill(BaseException):
+    """Escapes the writer loop's ``except Exception`` — kills the thread."""
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_dead_writer_flush_raises_and_next_put_respawns(tmp_path):
+    from repro import faults, hypertree_width
+    from repro.exceptions import CatalogError
+
+    h6, h8, g23 = generators.cycle(6), generators.cycle(8), generators.grid(2, 3)
+    width, hd6 = hypertree_width(h6)
+    _, hd8 = hypertree_width(h8)
+    _, hdg = hypertree_width(g23)
+    with DecompositionCatalog(tmp_path / "cat.db") as catalog:
+        # The first write sleeps long enough for the others to queue behind
+        # it, then raises a BaseException that escapes the writer loop.
+        rule = faults.FaultRule(
+            point="catalog.writer", delay=0.3, error=_WriterKill("killed"), times=1
+        )
+        with faults.injected(rule):
+            catalog.put(h6, width, ("a",), algorithm="t", success=True, decomposition=hd6)
+            catalog.put(h8, width, ("b",), algorithm="t", success=True, decomposition=hd8)
+            catalog.put(g23, width, ("c",), algorithm="t", success=True, decomposition=hdg)
+            with pytest.raises(CatalogError, match="write-behind writer died"):
+                catalog.flush()
+        stats = catalog.stats()
+        assert stats.lost_writes >= 1  # the stranded queue was accounted
+        assert stats.circuit_state == "open"  # an unexplained death trips it
+
+        # The next put respawns the writer; the catalog heals.
+        assert catalog.probe()
+        catalog.put(h6, width, ("d",), algorithm="t", success=True, decomposition=hd6)
+        assert catalog.flush()
+        stats = catalog.stats()
+        assert stats.writer_respawns == 1
+        assert stats.stores >= 1
+        assert catalog.get(h6, width, ("d",)) is not None
+
+
+def test_ordinary_writer_exception_loses_one_write_not_the_thread(tmp_path):
+    from repro import faults, hypertree_width
+
+    h6, h8 = generators.cycle(6), generators.cycle(8)
+    width, hd6 = hypertree_width(h6)
+    _, hd8 = hypertree_width(h8)
+    with DecompositionCatalog(tmp_path / "cat.db") as catalog:
+        rule = faults.FaultRule(
+            point="catalog.writer", error=RuntimeError("serialization bug"), times=1
+        )
+        with faults.injected(rule):
+            catalog.put(h6, width, ("a",), algorithm="t", success=True, decomposition=hd6)
+            catalog.put(h8, width, ("b",), algorithm="t", success=True, decomposition=hd8)
+            assert catalog.flush()  # the writer survived and drained
+        stats = catalog.stats()
+        assert stats.lost_writes == 1
+        assert stats.writer_respawns == 0
+        assert stats.stores == 1  # the second write landed

@@ -167,3 +167,37 @@ def test_thread_backend_sets_cancel_event_on_success(cycle10, monkeypatch):
     assert result.success
     assert seen and all(event is seen[0] for event in seen)
     assert seen[0].is_set()
+
+
+# --------------------------------------------------------------------------- #
+# worker supervision: crash detection, respawn, abandonment
+# --------------------------------------------------------------------------- #
+def test_killed_process_worker_is_respawned_and_run_succeeds(cycle10):
+    from repro import faults
+
+    # Every first-attempt worker is OOM-killed at startup; the supervisor
+    # must detect the silent deaths, respawn each partition once, and the
+    # replacements (attempt 1 no longer matches the rule) decide the run.
+    rule = faults.FaultRule(point="parallel.worker", kill=True, where={"attempt": 0})
+    decomposer = ParallelLogKDecomposer(num_workers=2, hybrid=False, use_engine=False)
+    with faults.injected(rule):
+        result = decomposer.decompose_raw(cycle10, 2)
+    assert result.success
+    assert not result.timed_out
+    validate_hd(result.decomposition)
+    assert result.statistics.worker_respawns == 2
+
+
+def test_respawn_budget_exhausted_degrades_to_undecided(cycle10):
+    from repro import faults
+    from repro.core.parallel import ParallelLogKDecomposer as P
+
+    # Every attempt dies: after the per-slot budget the partitions are
+    # abandoned and the run reports undecided (timed out), not a wrong "no".
+    rule = faults.FaultRule(point="parallel.worker", kill=True)
+    decomposer = ParallelLogKDecomposer(num_workers=2, hybrid=False, use_engine=False)
+    with faults.injected(rule):
+        result = decomposer.decompose_raw(cycle10, 2)
+    assert not result.success
+    assert result.timed_out
+    assert result.statistics.worker_respawns == 2 * P._MAX_RESPAWNS_PER_SLOT

@@ -66,6 +66,7 @@ def test_run_parametrised_accumulates_search_counters(small_instances):
         "splitter_memo_misses",
         "mask_table_builds",
         "bitset_memo_hits",
+        "worker_respawns",
     }
 
 

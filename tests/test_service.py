@@ -499,3 +499,107 @@ def test_concurrent_stress_selftest():
     ok, report, stats = run_selftest(workers=4, clients=8, repeats=3)
     assert ok, report
     assert stats["coalesced"] + stats["fast_path_hits"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# resilience: traceback fidelity, worker supervision, poison quarantine
+# --------------------------------------------------------------------------- #
+def _worker_frame_names(exc):
+    import traceback
+
+    return [frame.name for frame in traceback.extract_tb(exc.__traceback__)]
+
+
+def test_failed_ticket_reraises_with_worker_traceback(service):
+    def explode(_cancel_event):
+        raise RuntimeError("worker-side failure")
+
+    ticket = service._admit(("test-explode",), explode, 0.0, memoize=False, priority=1)
+    with pytest.raises(RuntimeError, match="worker-side failure") as info:
+        ticket.result(timeout=10)
+    # The frames that actually failed — the worker's _execute/explode — must
+    # be visible from the caller, not just the result() re-raise frame.
+    assert "explode" in _worker_frame_names(info.value)
+    assert "_execute" in _worker_frame_names(info.value)
+
+
+def test_coalesced_waiters_do_not_accumulate_reraise_frames(service, blocking_algorithm):
+    gate, _log = blocking_algorithm
+
+    def explode(_cancel_event):
+        raise RuntimeError("shared failure")
+
+    ticket = service._admit(("test-shared",), explode, 0.0, memoize=False, priority=1)
+    with pytest.raises(RuntimeError) as first:
+        ticket.result(timeout=10)
+    with pytest.raises(RuntimeError) as second:
+        ticket.result(timeout=10)
+    gate.set()
+    # Same instance, but each raise restores the pinned worker traceback
+    # instead of stacking result() frames onto the shared exception.
+    assert first.value is second.value
+    assert _worker_frame_names(first.value) == _worker_frame_names(second.value)
+    assert _worker_frame_names(second.value).count("result") <= 1
+
+
+def test_worker_crash_is_requeued_and_answer_still_served(cycle6):
+    from repro import faults
+
+    # The first dispatch of the task crashes its worker (an exception on the
+    # service.worker fault point escapes _execute); the supervisor requeues
+    # the task and revives the worker, and the retry answers correctly.
+    rule = faults.FaultRule(
+        point="service.worker", error=RuntimeError("dispatch bug"), where={"attempt": 0},
+        times=1,
+    )
+    with DecompositionService(num_workers=2, engine=DecompositionEngine()) as service:
+        with faults.injected(rule):
+            result = service.submit(cycle6, 2).result(timeout=60)
+            assert result.success
+        stats = service.stats()
+        assert stats.health["worker_crashes"] == 1
+        assert stats.health["worker_respawns"] == 1
+        assert stats.health["tasks_requeued"] == 1
+        assert stats.health["quarantined"] == 0
+        assert stats.health["workers_alive"] == stats.health["workers_total"] == 2
+        # The crash retry re-ran the same logical computation: counted once.
+        assert stats.computations == 1
+
+
+def test_poison_task_is_quarantined_with_descriptive_error(cycle6):
+    from repro import faults
+
+    # Every dispatch of this task crashes its worker: after poison_threshold
+    # crashes the key is finalized as failed instead of retried forever.
+    rule = faults.FaultRule(point="service.worker", error=RuntimeError("poison"))
+    with DecompositionService(
+        num_workers=2, engine=DecompositionEngine(), poison_threshold=3
+    ) as service:
+        with faults.injected(rule):
+            ticket = service.submit(cycle6, 2)
+            with pytest.raises(ServiceError, match="quarantined after 3") as info:
+                ticket.result(timeout=60)
+            assert isinstance(info.value.__cause__, RuntimeError)
+        stats = service.stats()
+        assert stats.health["quarantined"] == 1
+        assert stats.health["worker_crashes"] == 3
+        assert stats.health["tasks_requeued"] == 2
+        assert stats.failed == 1
+        # The pool survived the crashes at full strength.
+        assert stats.health["workers_alive"] == 2
+
+
+def test_health_section_shape(service):
+    health = service.stats().health
+    assert health["workers_total"] == 4
+    assert health["workers_alive"] == 4
+    for counter in (
+        "worker_crashes",
+        "worker_respawns",
+        "tasks_requeued",
+        "quarantined",
+        "process_worker_respawns",
+    ):
+        assert health[counter] == 0
+    assert health["catalog_circuit"] is None  # no catalog attached
+    assert "health" in service.stats().as_dict()
