@@ -32,7 +32,10 @@ Round-trip example::
 
 from __future__ import annotations
 
+import builtins
+import importlib
 import json
+from dataclasses import fields as dataclass_fields
 
 from ..decomp.decomposition import (
     Decomposition,
@@ -41,12 +44,19 @@ from ..decomp.decomposition import (
     HypertreeDecomposition,
 )
 from ..decomp.jointree import JoinTree, JoinTreeNode
-from ..exceptions import ParseError
+from ..exceptions import ParseError, ServiceError
 from ..hypergraph import Hypergraph
+from ..hypergraph.cq import Atom, ConjunctiveQuery
+from .base import DecompositionResult, SearchStatistics
 
 __all__ = [
     "DECOMPOSITION_FORMAT",
     "JOIN_TREE_FORMAT",
+    "HYPERGRAPH_FORMAT",
+    "DATABASE_FORMAT",
+    "REQUEST_FORMAT",
+    "ANSWER_FORMAT",
+    "ERROR_FORMAT",
     "kind_of",
     "class_for_kind",
     "decomposition_to_dict",
@@ -57,10 +67,28 @@ __all__ = [
     "join_tree_from_dict",
     "join_tree_to_json",
     "join_tree_from_json",
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+    "decompose_request_to_dict",
+    "query_request_to_dict",
+    "service_request_from_dict",
+    "decomposition_answer_to_dict",
+    "decomposition_answer_from_dict",
+    "query_answer_to_dict",
+    "query_answer_from_dict",
+    "error_to_dict",
+    "error_from_dict",
 ]
 
 DECOMPOSITION_FORMAT = "repro-decomposition/1"
 JOIN_TREE_FORMAT = "repro-join-tree/1"
+HYPERGRAPH_FORMAT = "repro-hypergraph/1"
+DATABASE_FORMAT = "repro-database/1"
+REQUEST_FORMAT = "repro-service-request/1"
+ANSWER_FORMAT = "repro-service-answer/1"
+ERROR_FORMAT = "repro-service-error/1"
 
 #: ``kind`` string (as stored in payloads) → decomposition class.  The plain
 #: base class is included so a payload can be explicit about *not* claiming
@@ -221,3 +249,411 @@ def _load_json(text: str):
         return json.loads(text)
     except (TypeError, ValueError) as exc:
         raise ParseError(f"payload is not valid JSON: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# process-boundary payloads (the serving layer's process backend)
+# --------------------------------------------------------------------------- #
+# Everything the process-backed DecompositionService ships between the
+# parent and its worker processes is encoded here: hypergraphs and
+# databases (shipped once per worker slot), requests (per task), answers
+# and errors (per result).  The payloads are deliberately QueryPlan-free —
+# plans are compiled worker-side from the shipped query, so the wire format
+# never depends on executor internals.
+
+#: JSON value types allowed inside shipped databases and answer relations.
+#: ``bool`` is a subclass of ``int`` and rides along.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _require_scalar(value: object, where: str) -> object:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise ParseError(
+            f"{where} holds a non-JSON-scalar value of type "
+            f"{type(value).__name__}: only str/int/float/bool/None values "
+            "can cross the process boundary"
+        )
+    return value
+
+
+def _check_format(payload: dict, expected: str, what: str) -> None:
+    if _require(payload, "format", str) != expected:
+        raise ParseError(f"unsupported {what} payload format {payload['format']!r}")
+
+
+def hypergraph_to_dict(hypergraph: Hypergraph) -> dict:
+    """Encode a hypergraph (name + ordered edge list) as plain JSON data.
+
+    Edge order is preserved — the search kernels iterate edges by index, so
+    a reconstruction that reordered them could walk the search space in a
+    different order and break byte-identical replay.  Vertices within an
+    edge are sets and are emitted sorted.
+    """
+    return {
+        "format": HYPERGRAPH_FORMAT,
+        "name": hypergraph.name,
+        "edges": [
+            [name, sorted(vertices)]
+            for name, vertices in hypergraph.edges_as_dict().items()
+        ],
+    }
+
+
+def hypergraph_from_dict(payload: dict) -> Hypergraph:
+    """Rebuild a hypergraph from :func:`hypergraph_to_dict` output."""
+    _check_format(payload, HYPERGRAPH_FORMAT, "hypergraph")
+    edges: dict[str, list[str]] = {}
+    for entry in _require(payload, "edges", list):
+        if not (isinstance(entry, list) and len(entry) == 2):
+            raise ParseError("hypergraph payload edges must be [name, vertices] pairs")
+        name, vertices = entry
+        if not isinstance(name, str):
+            raise ParseError("hypergraph payload edge names must be strings")
+        if not (isinstance(vertices, list) and all(isinstance(v, str) for v in vertices)):
+            raise ParseError("hypergraph payload vertices must be lists of strings")
+        if name in edges:
+            raise ParseError(f"hypergraph payload repeats edge {name!r}")
+        edges[name] = vertices
+    return Hypergraph(edges, name=_require(payload, "name", str))
+
+
+def database_to_dict(database) -> dict:
+    """Encode a :class:`~repro.query.database.Database` as plain JSON data.
+
+    Only JSON-scalar tuple values are supported (:class:`ParseError`
+    otherwise) — object-valued tuples have no stable wire identity.  Rows
+    are emitted in a deterministic order so equal databases encode to equal
+    payloads.
+    """
+    relations = []
+    for name in database.relation_names():
+        relation = database.get(name)
+        rows = []
+        for row in relation.tuples:
+            rows.append(
+                [_require_scalar(value, f"relation {name!r}") for value in row]
+            )
+        rows.sort(key=repr)
+        relations.append(
+            {"name": name, "schema": list(relation.schema), "rows": rows}
+        )
+    return {"format": DATABASE_FORMAT, "relations": relations}
+
+
+def database_from_dict(payload: dict):
+    """Rebuild a database from :func:`database_to_dict` output."""
+    from ..query.database import Database  # deferred: repro.query's package
+    from ..query.relation import Relation  # import chain leads back here
+
+    _check_format(payload, DATABASE_FORMAT, "database")
+    database = Database()
+    for entry in _require(payload, "relations", list):
+        name = _require(entry, "name", str)
+        schema = tuple(_string_list(entry, "schema"))
+        rows: set[tuple] = set()
+        for row in _require(entry, "rows", list):
+            if not isinstance(row, list) or len(row) != len(schema):
+                raise ParseError(
+                    f"relation {name!r}: row does not match the "
+                    f"{len(schema)}-attribute schema"
+                )
+            rows.add(tuple(_require_scalar(value, f"relation {name!r}") for value in row))
+        database.add(Relation.from_trusted_rows(name, schema, rows))
+    return database
+
+
+def decompose_request_to_dict(
+    *,
+    canonical_hash: str,
+    k: int,
+    algorithm: str,
+    timeout: float | None,
+    options: dict,
+) -> dict:
+    """Encode a decomposition request.
+
+    The hypergraph travels by reference (its canonical hash): the parent
+    ships the full structure once per worker slot, so a fat instance is not
+    re-serialised for every request that hits it.  Options must be
+    JSON-scalar — object-valued options never reach the process backend
+    (the service rejects them at submit time).
+    """
+    for option, value in options.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ParseError(
+                f"option {option!r} holds a non-primitive value of type "
+                f"{type(value).__name__} and cannot cross the process boundary"
+            )
+    return {
+        "format": REQUEST_FORMAT,
+        "kind": "decompose",
+        "hypergraph": canonical_hash,
+        "k": k,
+        "algorithm": algorithm,
+        "timeout": timeout,
+        "options": dict(options),
+    }
+
+
+def query_request_to_dict(
+    *,
+    query: ConjunctiveQuery,
+    mode: str,
+    database: str,
+    timeout: float | None,
+) -> dict:
+    """Encode a query request; ``database`` is the parent's shipping token
+    for the (separately shipped) database payload."""
+    return {
+        "format": REQUEST_FORMAT,
+        "kind": "query",
+        "atoms": [[atom.relation, list(atom.arguments)] for atom in query.atoms],
+        "free_variables": list(query.free_variables),
+        "query_name": query.name,
+        "mode": mode,
+        "database": database,
+        "timeout": timeout,
+    }
+
+
+def service_request_from_dict(payload: dict) -> dict:
+    """Decode a service request payload into plain fields.
+
+    Returns a dict with ``kind`` either ``"decompose"`` (fields
+    ``hypergraph`` — the canonical hash reference —, ``k``, ``algorithm``,
+    ``timeout``, ``options``) or ``"query"`` (fields ``query`` — a rebuilt
+    :class:`~repro.hypergraph.cq.ConjunctiveQuery` —, ``mode``,
+    ``database`` — the shipping token —, ``timeout``).
+    """
+    _check_format(payload, REQUEST_FORMAT, "service request")
+    kind = _require(payload, "kind", str)
+    timeout = payload.get("timeout")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise ParseError("request timeout must be a number or null")
+    if kind == "decompose":
+        options = _require(payload, "options", dict)
+        for option, value in options.items():
+            _require_scalar(value, f"option {option!r}")
+        return {
+            "kind": kind,
+            "hypergraph": _require(payload, "hypergraph", str),
+            "k": _require(payload, "k", int),
+            "algorithm": _require(payload, "algorithm", str),
+            "timeout": timeout,
+            "options": options,
+        }
+    if kind == "query":
+        atoms = []
+        for entry in _require(payload, "atoms", list):
+            if not (isinstance(entry, list) and len(entry) == 2):
+                raise ParseError("query payload atoms must be [relation, arguments] pairs")
+            relation, arguments = entry
+            if not isinstance(relation, str) or not (
+                isinstance(arguments, list)
+                and all(isinstance(a, str) for a in arguments)
+            ):
+                raise ParseError("query payload atoms must name string variables")
+            atoms.append(Atom(relation, tuple(arguments)))
+        query = ConjunctiveQuery(
+            atoms=tuple(atoms),
+            free_variables=tuple(_string_list(payload, "free_variables")),
+            name=_require(payload, "query_name", str),
+        )
+        return {
+            "kind": kind,
+            "query": query,
+            "mode": _require(payload, "mode", str),
+            "database": _require(payload, "database", str),
+            "timeout": timeout,
+        }
+    raise ParseError(f"unknown service request kind {kind!r}")
+
+
+_STATISTICS_FIELDS = {f.name for f in dataclass_fields(SearchStatistics)}
+
+
+def _statistics_to_dict(statistics: SearchStatistics) -> dict:
+    payload = {
+        name: getattr(statistics, name)
+        for name in _STATISTICS_FIELDS
+        if name != "stage_seconds"
+    }
+    payload["stage_seconds"] = dict(statistics.stage_seconds)
+    return payload
+
+
+def _statistics_from_dict(payload: dict) -> SearchStatistics:
+    known = {k: v for k, v in payload.items() if k in _STATISTICS_FIELDS}
+    return SearchStatistics(**known)
+
+
+def decomposition_answer_to_dict(result: DecompositionResult) -> dict:
+    """Encode a decomposition outcome, host-free (tree payload only)."""
+    return {
+        "format": ANSWER_FORMAT,
+        "kind": "decompose",
+        "algorithm": result.algorithm,
+        "k": result.width_parameter,
+        "success": result.success,
+        "timed_out": result.timed_out,
+        "elapsed": result.elapsed,
+        "statistics": _statistics_to_dict(result.statistics),
+        "decomposition": (
+            decomposition_to_dict(result.decomposition)
+            if result.decomposition is not None
+            else None
+        ),
+    }
+
+
+def decomposition_answer_from_dict(
+    hypergraph: Hypergraph, payload: dict
+) -> DecompositionResult:
+    """Rebuild a :class:`~repro.core.base.DecompositionResult` over the
+    request's hypergraph from :func:`decomposition_answer_to_dict` output."""
+    _check_format(payload, ANSWER_FORMAT, "service answer")
+    if _require(payload, "kind", str) != "decompose":
+        raise ParseError("expected a decomposition answer payload")
+    tree = payload.get("decomposition")
+    return DecompositionResult(
+        algorithm=_require(payload, "algorithm", str),
+        hypergraph=hypergraph,
+        width_parameter=_require(payload, "k", int),
+        success=_require(payload, "success", bool),
+        decomposition=(
+            decomposition_from_dict(hypergraph, tree) if tree is not None else None
+        ),
+        elapsed=float(_require(payload, "elapsed", (int, float))),
+        timed_out=_require(payload, "timed_out", bool),
+        statistics=_statistics_from_dict(_require(payload, "statistics", dict)),
+    )
+
+
+def query_answer_to_dict(
+    *,
+    mode: str,
+    answers,
+    boolean: bool,
+    count: int | None,
+    width: int,
+    plan_cached: bool,
+    plan_seconds: float,
+    execution_seconds: float,
+    statistics: dict,
+) -> dict:
+    """Encode a query outcome; ``answers`` is a
+    :class:`~repro.query.relation.Relation` or ``None`` (non-enumerate
+    modes)."""
+    encoded_answers = None
+    if answers is not None:
+        rows = [
+            [_require_scalar(value, "answer relation") for value in row]
+            for row in answers.tuples
+        ]
+        rows.sort(key=repr)
+        encoded_answers = {"schema": list(answers.schema), "rows": rows}
+    return {
+        "format": ANSWER_FORMAT,
+        "kind": "query",
+        "mode": mode,
+        "boolean": bool(boolean),
+        "count": count,
+        "answers": encoded_answers,
+        "width": width,
+        "plan_cached": plan_cached,
+        "plan_seconds": plan_seconds,
+        "execution_seconds": execution_seconds,
+        "statistics": dict(statistics),
+    }
+
+
+def query_answer_from_dict(payload: dict) -> dict:
+    """Decode :func:`query_answer_to_dict` output into plain fields.
+
+    ``answers`` comes back as a rebuilt
+    :class:`~repro.query.relation.Relation` (or ``None``); ``mode`` stays a
+    string — the caller coerces it to an
+    :class:`~repro.query.plan.AnswerMode`.
+    """
+    from ..query.relation import Relation  # deferred (import cycle, see above)
+
+    _check_format(payload, ANSWER_FORMAT, "service answer")
+    if _require(payload, "kind", str) != "query":
+        raise ParseError("expected a query answer payload")
+    count = payload.get("count")
+    if count is not None and not isinstance(count, int):
+        raise ParseError("query answer count must be an integer or null")
+    answers = None
+    encoded = payload.get("answers")
+    if encoded is not None:
+        schema = tuple(_string_list(encoded, "schema"))
+        rows: set[tuple] = set()
+        for row in _require(encoded, "rows", list):
+            if not isinstance(row, list) or len(row) != len(schema):
+                raise ParseError("query answer rows must match the answer schema")
+            rows.add(tuple(row))
+        answers = Relation.from_trusted_rows("answer", schema, rows)
+    return {
+        "mode": _require(payload, "mode", str),
+        "boolean": _require(payload, "boolean", bool),
+        "count": count,
+        "answers": answers,
+        "width": _require(payload, "width", int),
+        "plan_cached": _require(payload, "plan_cached", bool),
+        "plan_seconds": float(_require(payload, "plan_seconds", (int, float))),
+        "execution_seconds": float(
+            _require(payload, "execution_seconds", (int, float))
+        ),
+        "statistics": _require(payload, "statistics", dict),
+    }
+
+
+def error_to_dict(error: BaseException, traceback_text: str | None = None) -> dict:
+    """Encode a worker-side exception (type, message, formatted traceback)."""
+    return {
+        "format": ERROR_FORMAT,
+        "type": type(error).__name__,
+        "module": type(error).__module__,
+        "message": str(error),
+        "traceback": traceback_text or "",
+    }
+
+
+def error_from_dict(payload: dict) -> BaseException:
+    """Rebuild an exception from :func:`error_to_dict` output.
+
+    Only exception classes from this library and the standard ``builtins``
+    module are reconstructed (a payload must not be able to instantiate
+    arbitrary classes); anything else — including classes that reject a
+    single-message constructor — degrades to a
+    :class:`~repro.exceptions.ServiceError` carrying the original type
+    name.  The worker's formatted traceback is attached as a
+    ``remote_traceback`` attribute either way.
+    """
+    _check_format(payload, ERROR_FORMAT, "service error")
+    type_name = _require(payload, "type", str)
+    module_name = _require(payload, "module", str)
+    message = _require(payload, "message", str)
+    error: BaseException | None = None
+    if module_name == "builtins":
+        candidate = getattr(builtins, type_name, None)
+        if isinstance(candidate, type) and issubclass(candidate, BaseException):
+            try:
+                error = candidate(message)
+            except Exception:
+                error = None
+    elif module_name == "repro.exceptions" or module_name.startswith("repro."):
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            module = None
+        candidate = getattr(module, type_name, None) if module else None
+        if isinstance(candidate, type) and issubclass(candidate, BaseException):
+            try:
+                error = candidate(message)
+            except Exception:
+                error = None
+    if error is None:
+        error = ServiceError(f"worker failed with {module_name}.{type_name}: {message}")
+    error.remote_traceback = _require(payload, "traceback", str)  # type: ignore[attr-defined]
+    return error

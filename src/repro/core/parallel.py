@@ -42,7 +42,7 @@ from .fragments import fragment_to_decomposition
 from .hybrid import HybridDecomposer, make_metric
 from .logk import LogKSearch
 
-__all__ = ["ParallelLogKDecomposer"]
+__all__ = ["EitherEvent", "ParallelLogKDecomposer"]
 
 logger = logging.getLogger("repro.parallel")
 
@@ -58,6 +58,12 @@ class _EitherEvent:
 
     def is_set(self) -> bool:
         return self.first.is_set() or self.second.is_set()
+
+
+#: Public alias: the serving layer's process backend composes its worker-side
+#: cancel signals (pool stop | shutdown abort | per-request cancel ring) out
+#: of the same OR view the thread backend uses here.
+EitherEvent = _EitherEvent
 
 
 def _worker_search_to_queue(result_queue, slot, attempt, fault_spec, args: tuple) -> None:

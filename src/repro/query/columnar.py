@@ -40,12 +40,13 @@ evaluation cheap: repeated queries touch only per-query bag state.
 from __future__ import annotations
 
 import threading
+import time
 from array import array
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from itertools import compress
 
-from ..exceptions import QueryError
+from ..exceptions import QueryError, TimeoutExceeded
 from ..lru import ShardedLRU
 from .database import Database
 from .plan import AnswerMode, AtomBinding, JoinOp, ProjectOp, QueryPlan
@@ -79,6 +80,45 @@ _BYTE_SELECTORS = tuple(
 #: Rows per chunk when building key→row-bitmask tables; bounds the size of
 #: the chunk-local ints so the build stays near-linear in the row count.
 _MASK_CHUNK = 4096
+
+#: Rows processed between two cancellation/deadline polls in the hot join
+#: and semijoin loops — the same periodic-check idea the decomposition
+#: searches use (SearchContext), sized so the poll overhead stays invisible
+#: while an abort still lands within a few thousand rows of work.
+_CHECK_STRIDE = 4096
+
+
+class _Watchdog:
+    """Periodic cancellation/deadline checks for a running plan execution.
+
+    Mirrors the decomposition searches' deadline machinery: hot loops call
+    :meth:`tick` (throttled to every ``stride`` rows), stage boundaries call
+    :meth:`check` (always polls).  A set cancel event or an expired deadline
+    raises :class:`~repro.exceptions.TimeoutExceeded`, which the serving
+    layer maps onto the ticket like any other per-request timeout.
+    """
+
+    __slots__ = ("cancel_event", "deadline", "stride", "_ticks")
+
+    def __init__(self, cancel_event=None, deadline: float | None = None,
+                 stride: int = _CHECK_STRIDE) -> None:
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+        self.stride = stride
+        self._ticks = 0
+
+    def tick(self) -> None:
+        self._ticks += 1
+        if self._ticks % self.stride:
+            return
+        self.check()
+
+    def check(self) -> None:
+        event = self.cancel_event
+        if event is not None and event.is_set():
+            raise TimeoutExceeded("query execution cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise TimeoutExceeded("query execution exceeded its time budget")
 
 
 def _mask_to_selectors(mask: int, nrows: int) -> bytes:
@@ -537,10 +577,30 @@ class ExecutionResult:
 
 
 class PlanExecutor:
-    """Runs compiled plans over a column store."""
+    """Runs compiled plans over a column store.
 
-    def __init__(self, store: ColumnStore) -> None:
+    ``cancel_event`` (any object with ``is_set()``) and ``deadline`` (a
+    ``time.monotonic`` instant) arm in-flight cancellation: the executor
+    polls at stage boundaries and every ``check_stride`` rows inside the
+    join/semijoin kernels, raising
+    :class:`~repro.exceptions.TimeoutExceeded` promptly instead of running
+    the plan to completion.  Unarmed executions (both ``None``, the default)
+    pay a single ``is None`` test per kernel row.
+    """
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        cancel_event=None,
+        deadline: float | None = None,
+        check_stride: int = _CHECK_STRIDE,
+    ) -> None:
         self.store = store
+        self._watchdog = (
+            None
+            if cancel_event is None and deadline is None
+            else _Watchdog(cancel_event, deadline, stride=check_stride)
+        )
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -548,6 +608,8 @@ class PlanExecutor:
     def execute(self, plan: QueryPlan) -> ExecutionResult:
         """Execute ``plan`` against the store's database."""
         stats = ExecutionStatistics()
+        if self._watchdog is not None:
+            self._watchdog.check()
 
         states = self._materialise_bags(plan, stats)
         if states is None:
@@ -568,6 +630,8 @@ class PlanExecutor:
         if plan.mode is AnswerMode.COUNT:
             count = root.nrows
             return ExecutionResult(plan.mode, boolean=count > 0, count=count, statistics=stats)
+        if self._watchdog is not None:
+            self._watchdog.check()
         # Decode column-at-a-time and adopt the zipped tuples directly.
         values = self.store._values
         decoded_columns = [[values[code] for code in column] for column in root.columns]
@@ -591,6 +655,8 @@ class PlanExecutor:
     ) -> list[_NodeState] | None:
         states: list[_NodeState] = []
         for bag in plan.bags:
+            if self._watchdog is not None:
+                self._watchdog.check()
             key = (
                 tuple(ColumnStore.atom_key(plan.atoms[i]) for i in bag.cover),
                 bag.variables,
@@ -635,6 +701,8 @@ class PlanExecutor:
         stats.rows_materialised += current.nrows
         # Filter by the atoms assigned to the node (semijoin on shared vars).
         for atom_index in bag.assigned:
+            if self._watchdog is not None:
+                self._watchdog.check()
             binding = plan.atoms[atom_index]
             atom = self.store.atom_table(binding)
             shared = tuple(a for a in bag.variables if a in atom._position)
@@ -685,12 +753,17 @@ class PlanExecutor:
             stats.semijoins_skipped += 1
             return True
         stats.semijoins_run += 1
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.check()
         source_keys = source.live_keys(on)
         key_masks = target.table.key_masks(on, stats)
         # OR the row masks of the dead key groups, then clear them all at
         # once — the per-row work collapses into wide integer ops.
         dead = 0
         for key, mask in key_masks.items():
+            if watchdog is not None:
+                watchdog.tick()
             if key not in source_keys:
                 dead |= mask
         if dead:
@@ -759,6 +832,9 @@ class PlanExecutor:
         distinct without a dedupe pass.
         """
         stats.joins_run += 1
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.check()
         shared = tuple(a for a in left.schema if a in right._position)
         right_extra = tuple(a for a in right.schema if a not in left._position)
         schema = left.schema + right_extra
@@ -785,6 +861,8 @@ class PlanExecutor:
         right_ids: list[int] = []
         extend = right_ids.extend
         for left_id, key in enumerate(left.key_column(shared)):
+            if watchdog is not None:
+                watchdog.tick()
             bucket = index.get(key)
             if bucket is not None:
                 extend(bucket)
@@ -809,15 +887,21 @@ class PlanExecutor:
 
 
 def execute_plan(
-    plan: QueryPlan, database: Database, store: ColumnStore | None = None
+    plan: QueryPlan,
+    database: Database,
+    store: ColumnStore | None = None,
+    cancel_event=None,
+    deadline: float | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: run ``plan`` over ``database``.
 
     Pass a persistent :class:`ColumnStore` to amortise dictionary encoding
-    and base-relation indexes across the queries of a workload.
+    and base-relation indexes across the queries of a workload;
+    ``cancel_event``/``deadline`` arm in-flight cancellation (see
+    :class:`PlanExecutor`).
     """
     if store is None:
         store = ColumnStore(database)
     elif store.database is not database:
         raise QueryError("the column store belongs to a different database")
-    return PlanExecutor(store).execute(plan)
+    return PlanExecutor(store, cancel_event=cancel_event, deadline=deadline).execute(plan)

@@ -67,6 +67,17 @@ class AnswerMode(str, Enum):
             known = ", ".join(m.value for m in cls)
             raise QueryError(f"unknown answer mode {mode!r}; known: {known}") from None
 
+    @property
+    def is_interactive(self) -> bool:
+        """Scheduling hint: whether answers are small scalar payloads.
+
+        Boolean and count answers are a yes/no or a number a client is
+        actively waiting on; full enumeration materialises an answer
+        relation and is bulk work.  The serving layer maps this onto its
+        priority classes.
+        """
+        return self is not AnswerMode.ENUMERATE
+
 
 @dataclass(frozen=True)
 class AtomBinding:

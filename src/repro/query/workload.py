@@ -54,6 +54,7 @@ from .relation import Relation
 
 __all__ = [
     "PlannedQuery",
+    "QueryAnswer",
     "QueryResult",
     "QueryEngine",
     "QueryWorkload",
@@ -118,6 +119,30 @@ class QueryResult:
     def width(self) -> int:
         """The hypertree width of the plan's decomposition."""
         return self.planned.width
+
+
+@dataclass
+class QueryAnswer:
+    """A host-free query outcome — what crosses the process boundary.
+
+    Field-compatible with the read surface of :class:`QueryResult`
+    (``mode``/``answers``/``boolean``/``count``/``width`` plus the serving
+    metadata), but without the live :class:`PlannedQuery`/execution objects:
+    the process-backed serving layer decodes worker answers into this shape
+    (see :mod:`repro.core.codec`), so callers can consume decomposition-
+    and query-service tickets uniformly across backends.
+    """
+
+    mode: AnswerMode
+    answers: Relation | None
+    boolean: bool
+    count: int | None
+    width: int
+    plan_cached: bool
+    plan_seconds: float
+    execution_seconds: float
+    #: The execution's :meth:`ExecutionStatistics.as_dict` counters.
+    statistics: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -276,15 +301,30 @@ class QueryEngine:
         query: ConjunctiveQuery,
         database: Database,
         mode: AnswerMode | str = AnswerMode.ENUMERATE,
+        *,
+        cancel_event=None,
+        timeout: float | None = None,
     ) -> QueryResult:
-        """Plan (or fetch the cached plan for) ``query`` and run it."""
+        """Plan (or fetch the cached plan for) ``query`` and run it.
+
+        ``cancel_event`` (any object with ``is_set()``) and ``timeout``
+        (seconds) arm in-flight cancellation of the *execution* stage: the
+        columnar executor polls periodically and raises
+        :class:`~repro.exceptions.TimeoutExceeded` promptly.  Planning is
+        bounded separately by the engine-level ``timeout`` — the plan cache
+        is keyed on the engine configuration, so a per-request deadline
+        must not change what gets cached.
+        """
         start = time.monotonic()
         planned, cached = self.plan(query, mode)
         plan_seconds = time.monotonic() - start
 
         store = self.store_for(database)
         start = time.monotonic()
-        execution = PlanExecutor(store).execute(planned.plan)
+        deadline = None if timeout is None else start + timeout
+        execution = PlanExecutor(
+            store, cancel_event=cancel_event, deadline=deadline
+        ).execute(planned.plan)
         execution_seconds = time.monotonic() - start
         return QueryResult(
             query=query,

@@ -2,8 +2,8 @@
 
 Usage::
 
-    python -m repro.serve --selftest [--workers 4] [--clients 8] [--json]
-                          [--catalog my.db]
+    python -m repro.serve --selftest [--backend thread|process] [--workers 4]
+                          [--clients 8] [--json] [--catalog my.db]
 
 ``--selftest`` hammers a fresh :class:`~repro.service.DecompositionService`
 from several client threads with a duplicate-heavy mix of decomposition and
@@ -81,13 +81,20 @@ SELFTEST_QUERY = "ans(x, z) :- r(x,y), s(y,z), t(z,x)."
 CHAOS_PARALLEL_PROBE = (lambda: generators.cycle(10), 2, True)
 
 
-def chaos_rules(seed: int) -> list:
+def chaos_rules(seed: int, backend: str = "thread") -> list:
     """The seeded, bounded fault schedule of a ``--chaos`` run.
 
     Every rule's budget (``times``) is finite, so each injected outage ends
     and the recovery paths — catalog circuit re-attach, worker revival,
     process respawn — always get their turn; that is what lets the chaos
     invariants assert *recovery*, not merely degradation.
+
+    The schedule is calibrated so no single task can accumulate
+    ``poison_threshold`` (3) crashes: under the process backend the
+    ``service.process`` kill adds up to one crash per task on top of the
+    dispatch-crash budget (affinity re-routes the requeued task onto the
+    respawned attempt-1 worker, which survives), so that budget drops from
+    2 to 1 there.
     """
     import sqlite3
 
@@ -115,18 +122,24 @@ def chaos_rules(seed: int) -> list:
             probability=0.1,
             times=10,
         ),
-        # Two worker crashes — deliberately below the default poison
-        # threshold (3), so even both landing on one key must still end in
-        # a served answer, never a quarantine.
+        # Worker crashes — deliberately below the default poison threshold
+        # (3) even when stacked with a process-worker kill on one key, so
+        # every request must still end in a served answer, never a
+        # quarantine.
         faults.FaultRule(
             point="service.worker",
             error=RuntimeError("chaos: dispatch crash"),
-            times=2,
+            times=2 if backend == "thread" else 1,
             skip=rng.randint(0, 5),
         ),
         # Every first-attempt process worker is OOM-killed; the respawned
         # replacements (attempt 1) decide the parallel probe.
         faults.FaultRule(point="parallel.worker", kill=True, where={"attempt": 0}),
+        # Same treatment for the serving layer's own worker processes
+        # (inert under the thread backend, where the point never fires):
+        # each first-generation worker dies at its first batch, orphaning
+        # the batch onto the requeue path and forcing a slot respawn.
+        faults.FaultRule(point="service.process", kill=True, where={"attempt": 0}),
     ]
 
 
@@ -136,8 +149,13 @@ def run_selftest(
     repeats: int = 3,
     catalog: str | None = None,
     chaos_seed: int | None = None,
+    backend: str = "thread",
 ) -> tuple[bool, str, dict]:
     """Run the concurrent smoke scenario; returns (ok, report text, stats dict).
+
+    ``backend`` selects the service's execution backend (``"thread"`` or
+    ``"process"``); the scenario and its invariants are backend-agnostic,
+    which is the point — both must serve the same answers.
 
     ``catalog`` (a path) makes the engine persist decided outcomes to a
     durable :class:`~repro.catalog.DecompositionCatalog` and serve repeats
@@ -161,7 +179,9 @@ def run_selftest(
 
     failures: list[str] = []
     service = DecompositionService(
-        num_workers=workers, engine=DecompositionEngine(catalog=catalog)
+        num_workers=workers,
+        engine=DecompositionEngine(catalog=catalog),
+        backend=backend,
     )
     barrier = threading.Barrier(clients)
 
@@ -196,7 +216,9 @@ def run_selftest(
     injector = None
     previous = None
     if chaos:
-        injector = faults.FaultInjector(rules=chaos_rules(chaos_seed), seed=chaos_seed)
+        injector = faults.FaultInjector(
+            rules=chaos_rules(chaos_seed, backend), seed=chaos_seed
+        )
         previous = faults.install(injector)
 
     # daemon=True: if a regression deadlocks a ticket (the very bug this
@@ -214,12 +236,18 @@ def run_selftest(
             # the injected process-worker kills (and the respawns proving
             # them survivable) happen under real concurrent load.
             probe_factory, probe_k, _probe_expect = CHAOS_PARALLEL_PROBE
+            probe_options = {"num_workers": 2, "hybrid": False}
+            if backend == "process":
+                # Service workers are daemonic processes and cannot fork
+                # children of their own; run the parallel search on its
+                # thread backend there (the service.process kill rule
+                # already exercises process-level respawns).
+                probe_options["backend"] = "thread"
             probe_ticket = service.submit(
                 probe_factory(),
                 probe_k,
                 algorithm="log-k-decomp-parallel",
-                num_workers=2,
-                hybrid=False,
+                **probe_options,
             )
         for thread in threads:
             thread.join(timeout=120)
@@ -249,7 +277,7 @@ def run_selftest(
         # The outage is over: the catalog must come back (forced half-open
         # probe, shadow rows replayed), and every answer computed under
         # chaos must be byte-identical to a fault-free computation.
-        if not service.engine.catalog.probe():
+        if not service.catalog_probe():
             failures.append("chaos: the catalog did not re-attach after the outage")
         baseline_engine = DecompositionEngine()
         for hypergraph, k, expect in instances:
@@ -324,7 +352,7 @@ def run_selftest(
     ok = not failures
     lines = [
         f"serve selftest: {clients} clients x {repeats} rounds over "
-        f"{len(instances)} instances + 3 query modes ({workers} workers)",
+        f"{len(instances)} instances + 3 query modes ({workers} {backend} workers)",
         f"  requests submitted : {stats.submitted}",
         f"  completed          : {stats.completed}",
         f"  computations       : {stats.computations} "
@@ -383,7 +411,16 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the concurrent serving smoke scenario and verify its invariants",
     )
-    parser.add_argument("--workers", type=int, default=4, help="service worker threads")
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="service execution backend: in-process threads (default) or a "
+        "cache-affinity-routed process pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="service workers (threads or processes)"
+    )
     parser.add_argument("--clients", type=int, default=8, help="concurrent client threads")
     parser.add_argument("--repeats", type=int, default=3, help="rounds per client")
     parser.add_argument(
@@ -424,6 +461,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         repeats=args.repeats,
         catalog=args.catalog,
         chaos_seed=args.chaos_seed if args.chaos else None,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(stats, indent=2))

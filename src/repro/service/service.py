@@ -24,7 +24,15 @@ single-caller library into something that can sit behind traffic:
 Per-request timeouts ride on the engine's deadline machinery, and
 cancellation reuses the cancellation-event plumbing of
 :mod:`repro.core.parallel`: cancelling the last ticket of a task sets its
-event and the running search aborts at its next periodic check.
+event and the running computation — decomposition search or columnar query
+execution alike — aborts at its next periodic check.
+
+Two execution backends share this front end: ``backend="thread"`` (the
+default) runs tasks on in-process worker threads against one shared engine;
+``backend="process"`` dispatches them to long-lived worker processes with
+cache-affinity routing and batch admission
+(:mod:`repro.service.process_backend`), buying real multi-core scaling for
+CPU-bound traffic.
 
 Example::
 
@@ -57,6 +65,7 @@ from ..pipeline.engine import DecompositionEngine, default_engine
 from ..pipeline.registry import PRIMITIVE_OPTION_TYPES, registry
 from ..query.plan import AnswerMode
 from ..query.workload import QueryEngine, QueryResult, query_signature
+from .process_backend import ProcessBackend
 
 __all__ = [
     "PRIORITY_INTERACTIVE",
@@ -95,6 +104,8 @@ class _Task:
         "result",
         "error",
         "error_tb",
+        "request",
+        "proc_seq",
     )
 
     def __init__(self, key: tuple, priority: int, run, memoize: bool) -> None:
@@ -102,6 +113,11 @@ class _Task:
         self.priority = priority
         self.run = run
         self.memoize = memoize
+        #: Process-backend payloads: the prepared codec request (set at
+        #: admission) and the dispatch sequence number the worker knows the
+        #: task by (set at dispatch; the cancel ring targets it).
+        self.request = None
+        self.proc_seq: int | None = None
         self.tickets: list[ServiceTicket] = []
         self.done = threading.Event()
         self.cancel_event = threading.Event()
@@ -187,11 +203,16 @@ class ServiceTicket:
         """Detach from the computation; returns False if already finished.
 
         The computation's cancellation event is only set once no attached
-        ticket remains, which aborts a queued task before it runs and an
-        in-flight *decomposition* search at its next periodic deadline
-        check.  A query task that is already executing runs to completion
-        (the planner/executor do not poll the event); its outcome is simply
-        discarded for this ticket.
+        ticket remains.  A still-queued task is then dropped before it
+        runs; a *running* task — decomposition search or query execution
+        alike — aborts at its next periodic cancellation check (the
+        columnar executor polls the event inside its semijoin/join
+        kernels, mirroring the searches).  Under the process backend the
+        signal reaches the worker through its slot's cancel ring.  The
+        two outcomes are distinguished in :meth:`DecompositionService.stats`:
+        ``cancelled`` counts every cancelled ticket, ``cancelled_running``
+        additionally counts the computations that were already executing
+        when their last ticket cancelled.
         """
         return self._service._cancel_ticket(self)
 
@@ -215,6 +236,10 @@ class ServiceStats:
     fast_path_hits: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: Of the fully-cancelled computations, how many were already executing
+    #: when their last ticket cancelled (aborted in flight via the
+    #: cancellation event / cancel ring, not dropped from the queue).
+    cancelled_running: int = 0
     queue_depth: int = 0
     inflight: int = 0
     workers: int = 0
@@ -248,6 +273,7 @@ class ServiceStats:
             "fast_path_hits": self.fast_path_hits,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "cancelled_running": self.cancelled_running,
             "queue_depth": self.queue_depth,
             "inflight": self.inflight,
             "workers": self.workers,
@@ -272,6 +298,18 @@ class DecompositionService:
     ----------
     num_workers:
         Size of the worker pool draining the request queue.
+    backend:
+        ``"thread"`` (default) runs tasks on a pool of threads sharing the
+        engine in-process; ``"process"`` dispatches them to long-lived
+        worker processes, each with its own warm engine/query-engine/column
+        stores, routed by cache affinity (see
+        :mod:`repro.service.process_backend`).  Thread mode keeps zero IPC
+        cost and shares one cache; process mode buys real multi-core
+        scaling for CPU-bound traffic at the price of shipping inputs
+        across the boundary (hypergraphs/databases ship once per worker).
+    workers:
+        Alias for ``num_workers`` (takes precedence when both are given) —
+        reads naturally next to ``backend``.
     engine:
         The shared :class:`~repro.pipeline.engine.DecompositionEngine`;
         defaults to the process-wide engine, so results are shared with
@@ -305,12 +343,19 @@ class DecompositionService:
         result_memo_entries: int = 4096,
         latency_window: int = 2048,
         poison_threshold: int = 3,
+        backend: str = "thread",
+        workers: int | None = None,
         **algorithm_options,
     ) -> None:
+        if workers is not None:
+            num_workers = workers
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
         if poison_threshold < 1:
             raise ServiceError("poison_threshold must be >= 1")
+        if backend not in {"thread", "process"}:
+            raise ServiceError(f"unknown service backend {backend!r}")
+        self.backend = backend
         self.poison_threshold = poison_threshold
         self.engine = engine if engine is not None else default_engine()
         self.algorithm = algorithm
@@ -337,6 +382,7 @@ class DecompositionService:
         self._fast_path_hits = 0
         self._failed = 0
         self._cancelled = 0
+        self._cancelled_running = 0
         self._worker_crashes = 0
         self._worker_respawns = 0
         self._tasks_requeued = 0
@@ -350,12 +396,24 @@ class DecompositionService:
         self._query_engine = query_engine
         self._query_engine_lock = threading.Lock()
 
-        self._workers = [
-            threading.Thread(target=self._worker_loop, name=f"repro-service-{i}", daemon=True)
-            for i in range(num_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        if backend == "process":
+            # No thread pool: the backend's dispatcher thread drains the
+            # same priority queue and the collector finalizes through
+            # _complete, so dedup/memoization/supervision stay in one place.
+            self._workers: list[threading.Thread] = []
+            self._process_backend: ProcessBackend | None = ProcessBackend(
+                self, num_workers
+            )
+        else:
+            self._process_backend = None
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop, name=f"repro-service-{i}", daemon=True
+                )
+                for i in range(num_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
 
     # ------------------------------------------------------------------ #
     # submission
@@ -422,6 +480,14 @@ class DecompositionService:
             memoize = False
         submitted_at = time.monotonic()
 
+        request = None
+        if self._process_backend is not None:
+            # Raises ServiceError for option values that cannot cross the
+            # process boundary (anything but str/int/float/bool/None).
+            request = self._process_backend.decompose_request(
+                hypergraph, name, k, timeout, merged
+            )
+
         def run(cancel_event):
             decomposer = registry.build(name, timeout=timeout, **merged)
             return self.engine.decompose(decomposer, hypergraph, k, cancel_event=cancel_event)
@@ -432,6 +498,7 @@ class DecompositionService:
             submitted_at,
             memoize=memoize,
             priority=PRIORITY_NORMAL if priority is None else priority,
+            request=request,
         )
 
     def submit_query(
@@ -440,26 +507,32 @@ class DecompositionService:
         database,
         mode: AnswerMode | str = AnswerMode.ENUMERATE,
         *,
+        timeout: float | None = None,
         priority: int | None = None,
     ) -> ServiceTicket:
         """Schedule a conjunctive query; the ticket resolves to a
-        :class:`~repro.query.workload.QueryResult`.
+        :class:`~repro.query.workload.QueryResult` (thread backend) or a
+        :class:`~repro.query.workload.QueryAnswer` (process backend) — the
+        read surface (``mode``/``answers``/``boolean``/``count``/``width``)
+        is shared.
 
         Boolean and count queries are scheduled at interactive priority,
         ahead of full enumeration.  Identical concurrent (query shape,
-        mode, database) requests coalesce; completed query results are not
-        memoized by the service — the plan cache and the database's column
-        store already make repeats cheap, and the memo would have to pin
-        the database alive.  Cancellation of a query ticket before the
-        task starts removes it from the queue; once executing, the query
-        runs to completion (only decomposition searches poll the
-        cancellation event).
+        mode, database, timeout) requests coalesce; completed query results
+        are not memoized by the service — the plan cache and the database's
+        column store already make repeats cheap, and the memo would have to
+        pin the database alive.  Cancelling a query ticket before the task
+        starts removes it from the queue; once executing, the columnar
+        executor aborts at its next periodic cancellation check (see
+        :meth:`ServiceTicket.cancel`).  ``timeout`` bounds the execution
+        stage the same way (the ticket then raises
+        :class:`~repro.exceptions.TimeoutExceeded`).
         """
         mode = AnswerMode.coerce(mode)
         query_engine = self._resolve_query_engine()
         if priority is None:
             priority = (
-                PRIORITY_BULK if mode is AnswerMode.ENUMERATE else PRIORITY_INTERACTIVE
+                PRIORITY_INTERACTIVE if mode.is_interactive else PRIORITY_BULK
             )
         # id(database) is safe here because the key is only used for
         # *in-flight* dedup: the task references the database, so its id
@@ -470,13 +543,26 @@ class DecompositionService:
             mode.value,
             query_engine.configuration,
             id(database),
+            timeout,
         )
         submitted_at = time.monotonic()
 
-        def run(_cancel_event) -> QueryResult:
-            return query_engine.execute(query, database, mode)
+        request = None
+        if self._process_backend is not None:
+            # Raises ServiceError when the database holds values that
+            # cannot cross the process boundary (non-JSON-scalar tuples).
+            request = self._process_backend.query_request(
+                query, database, mode, timeout
+            )
 
-        return self._admit(key, run, submitted_at, memoize=False, priority=priority)
+        def run(cancel_event) -> QueryResult:
+            return query_engine.execute(
+                query, database, mode, cancel_event=cancel_event, timeout=timeout
+            )
+
+        return self._admit(
+            key, run, submitted_at, memoize=False, priority=priority, request=request
+        )
 
     def map(self, hypergraphs, k: int, **options) -> list[DecompositionResult]:
         """Submit many decomposition requests and gather results in order."""
@@ -491,6 +577,7 @@ class DecompositionService:
         *,
         memoize: bool,
         priority: int,
+        request=None,
     ) -> ServiceTicket:
         if not isinstance(priority, int) or priority >= _SHUTDOWN_PRIORITY:
             # A priority sorting behind the shutdown sentinels would make
@@ -528,6 +615,7 @@ class DecompositionService:
                     done_task.done.set()
                     return ServiceTicket(self, done_task, submitted_at)
             task = _Task(key, priority, run, memoize)
+            task.request = request
             ticket = ServiceTicket(self, task, submitted_at)
             task.tickets.append(ticket)
             self._inflight[key] = task
@@ -621,6 +709,11 @@ class DecompositionService:
             error = None
         except BaseException as exc:  # surfaced through the tickets
             result, error = None, exc
+        self._complete(task, result, error)
+
+    def _complete(self, task: _Task, result, error) -> None:
+        """Deliver a task outcome (thread workers and the process-backend
+        collector share this tail: memo, counter merge, finalize)."""
         # Memoize BEFORE the task leaves the in-flight table: a concurrent
         # submit that misses the in-flight entry re-probes the memo under
         # the service lock, so there is no window in which a duplicate
@@ -681,6 +774,15 @@ class DecompositionService:
             if not task.tickets:
                 task.cancelled = True
                 task.cancel_event.set()
+                if task.started:
+                    # Aborting a computation that is already executing —
+                    # distinct from dropping a queued one.  The running
+                    # search/executor observes the event (thread backend)
+                    # or the cancel ring (process backend) at its next
+                    # periodic check.
+                    self._cancelled_running += 1
+                    if self._process_backend is not None:
+                        self._process_backend.request_cancel(task)
             return True
 
     # ------------------------------------------------------------------ #
@@ -699,11 +801,16 @@ class DecompositionService:
 
     def stats(self) -> ServiceStats:
         """A consistent snapshot of counters, cache traffic and latency."""
+        backend = self._process_backend
         with self._lock:
             # Only copy under the lock; the O(n log n) percentile sort runs
             # outside so high-frequency monitoring polls never stall
             # submits or worker finalization.
             samples = list(self._latencies)
+            if backend is not None:
+                workers_alive = backend.alive_workers()
+            else:
+                workers_alive = sum(1 for worker in self._workers if worker.is_alive())
             stats = ServiceStats(
                 submitted=self._submitted,
                 completed=self._completed,
@@ -713,28 +820,32 @@ class DecompositionService:
                 fast_path_hits=self._fast_path_hits,
                 failed=self._failed,
                 cancelled=self._cancelled,
+                cancelled_running=self._cancelled_running,
                 queue_depth=self._queue.qsize(),
                 inflight=len(self._inflight),
-                workers=len(self._workers),
+                workers=self.num_workers,
                 search_counters=dict(self._search_counters),
                 health={
-                    "workers_alive": sum(
-                        1 for worker in self._workers if worker.is_alive()
-                    ),
-                    "workers_total": len(self._workers),
+                    "backend": self.backend,
+                    "workers_alive": workers_alive,
+                    "workers_total": self.num_workers,
                     "worker_crashes": self._worker_crashes,
                     "worker_respawns": self._worker_respawns,
                     "tasks_requeued": self._tasks_requeued,
                     "quarantined": self._quarantined,
-                    # Replacement *processes* spawned by the parallel
-                    # backend's supervisor, aggregated over this service's
-                    # computations (see SearchStatistics.worker_respawns).
+                    # Replacement *processes* spawned by a supervisor: the
+                    # parallel backend's respawns aggregated over this
+                    # service's computations (SearchStatistics.worker_respawns)
+                    # plus, under the process backend, its own slot respawns.
                     "process_worker_respawns": self._search_counters.get(
                         "worker_respawns", 0
-                    ),
+                    )
+                    + (backend.respawns if backend is not None else 0),
                     "catalog_circuit": None,
                 },
             )
+        if backend is not None:
+            stats.health["process_backend"] = backend.snapshot()
         samples.sort()
         stats.latency_p50 = _percentile(samples, 0.50)
         stats.latency_p95 = _percentile(samples, 0.95)
@@ -747,6 +858,11 @@ class DecompositionService:
         catalog = getattr(self.engine, "catalog", None)
         if catalog is not None:
             stats.catalog = catalog.stats()
+            if backend is not None:
+                # The durable tier is shared; fold every worker handle's
+                # latest traffic snapshot into the parent's so hit/miss and
+                # circuit counters reflect the whole pool.
+                stats.catalog = backend.merged_catalog_stats(stats.catalog)
             stats.health["catalog_circuit"] = {
                 "state": stats.catalog.circuit_state,
                 "opens": stats.catalog.circuit_opens,
@@ -756,6 +872,20 @@ class DecompositionService:
                 "memory_fallback": stats.catalog.memory_fallback,
             }
         return stats
+
+    def catalog_probe(self) -> bool:
+        """Probe the durable catalog tier on every handle this service owns.
+
+        The parent's handle probes directly; under the process backend the
+        probe also fans out to each worker's handle (an open worker-side
+        circuit breaker only re-attaches when probed).  Returns True iff
+        every probed handle is healthy.
+        """
+        catalog = getattr(self.engine, "catalog", None)
+        ok = catalog.probe() if catalog is not None else True
+        if self._process_backend is not None:
+            ok = self._process_backend.broadcast_probe() and ok
+        return ok
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -799,12 +929,26 @@ class DecompositionService:
             with self._lock:
                 for task in list(self._inflight.values()):
                     task.cancel_event.set()
+            if self._process_backend is not None:
+                # Dispatched requests poll the pool-wide abort event inside
+                # their worker-side cancel views; the event reaches them
+                # where the parent-side task events cannot.
+                self._process_backend.abort_inflight()
         if first:
-            for _ in self._workers:
+            if self._process_backend is not None:
+                # One sentinel: the dispatcher is the only queue consumer.
+                # It sorts behind every admissible priority, so the queue
+                # drains before the dispatcher exits.
                 self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
+                self._process_backend.begin_shutdown()
+            else:
+                for _ in self._workers:
+                    self._queue.put((_SHUTDOWN_PRIORITY, next(self._seq), None))
         if wait:
             for worker in self._workers:
                 worker.join()
+            if self._process_backend is not None:
+                self._process_backend.join()
 
     def __enter__(self) -> "DecompositionService":
         return self

@@ -1,0 +1,279 @@
+"""Round trips for everything that crosses the process-backend boundary.
+
+The process backend ships requests, answers, and worker errors between the
+parent and its worker processes through :mod:`repro.core.codec` — plain
+JSON-compatible dicts, never live objects.  These tests pin each payload
+shape, the validation that rejects malformed payloads, and the ship-once
+size property (a request references its fat hypergraph by hash instead of
+embedding it).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import codec
+from repro.core.detk import DetKDecomposer
+from repro.decomp import validate_hd
+from repro.exceptions import ParseError, QueryError, ServiceError, TimeoutExceeded
+from repro.hypergraph import generators
+from repro.hypergraph.cq import parse_conjunctive_query
+from repro.pipeline.engine import DecompositionEngine
+from repro.query import QueryEngine, random_database_for_query
+from repro.query.plan import AnswerMode
+
+QUERY = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z), t(z,x).")
+
+
+# --------------------------------------------------------------------------- #
+# hypergraphs and databases
+# --------------------------------------------------------------------------- #
+def test_hypergraph_round_trip(cycle6):
+    payload = codec.hypergraph_to_dict(cycle6)
+    json.dumps(payload)  # plain JSON data, no live objects
+    rebuilt = codec.hypergraph_from_dict(payload)
+    assert rebuilt.name == cycle6.name
+    assert rebuilt.edges_as_dict() == {
+        name: set(vertices) for name, vertices in cycle6.edges_as_dict().items()
+    }
+    # Edge order is load-bearing (search replay walks edges by index).
+    assert list(rebuilt.edges_as_dict()) == list(cycle6.edges_as_dict())
+    assert rebuilt.canonical_hash() == cycle6.canonical_hash()
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda p: p.update(format="bogus/9"),
+        lambda p: p.update(edges=[["e", ["a"], "extra"]]),
+        lambda p: p.update(edges=[[7, ["a"]]]),
+        lambda p: p.update(edges=[["e", [1, 2]]]),
+        lambda p: p.update(edges=[["e", ["a"]], ["e", ["b"]]]),
+    ],
+)
+def test_hypergraph_payload_validation(cycle6, mutate):
+    payload = codec.hypergraph_to_dict(cycle6)
+    mutate(payload)
+    with pytest.raises(ParseError):
+        codec.hypergraph_from_dict(payload)
+
+
+def test_database_round_trip():
+    database = random_database_for_query(QUERY, domain_size=5, tuples_per_relation=20)
+    payload = codec.database_to_dict(database)
+    json.dumps(payload)
+    rebuilt = codec.database_from_dict(payload)
+    assert rebuilt.relation_names() == database.relation_names()
+    for name in database.relation_names():
+        original, copy = database.get(name), rebuilt.get(name)
+        assert copy.schema == original.schema
+        assert set(copy.tuples) == set(original.tuples)
+    # Deterministic: equal databases encode to equal payloads.
+    assert codec.database_to_dict(rebuilt) == payload
+
+
+def test_database_rejects_object_valued_tuples():
+    from repro.query.database import Database
+    from repro.query.relation import Relation
+
+    database = Database()
+    database.add(Relation.from_trusted_rows("r", ("a",), {(object(),)}))
+    with pytest.raises(ParseError):
+        codec.database_to_dict(database)
+
+
+# --------------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------------- #
+def test_decompose_request_round_trip(cycle6):
+    payload = codec.decompose_request_to_dict(
+        canonical_hash=cycle6.canonical_hash(),
+        k=2,
+        algorithm="detk",
+        timeout=5.0,
+        options={"hybrid": False, "seed": 7},
+    )
+    json.dumps(payload)
+    decoded = codec.service_request_from_dict(payload)
+    assert decoded["kind"] == "decompose"
+    assert decoded["hypergraph"] == cycle6.canonical_hash()
+    assert decoded["k"] == 2
+    assert decoded["algorithm"] == "detk"
+    assert decoded["timeout"] == 5.0
+    assert decoded["options"] == {"hybrid": False, "seed": 7}
+
+
+def test_decompose_request_rejects_object_options(cycle6):
+    with pytest.raises(ParseError):
+        codec.decompose_request_to_dict(
+            canonical_hash=cycle6.canonical_hash(),
+            k=2,
+            algorithm="hybrid",
+            timeout=None,
+            options={"metric": object()},
+        )
+
+
+def test_query_request_round_trip():
+    payload = codec.query_request_to_dict(
+        query=QUERY, mode="enumerate", database="db-1", timeout=None
+    )
+    json.dumps(payload)
+    decoded = codec.service_request_from_dict(payload)
+    assert decoded["kind"] == "query"
+    assert decoded["query"] == QUERY  # atoms, free variables, and name
+    assert decoded["mode"] == "enumerate"
+    assert decoded["database"] == "db-1"
+    assert decoded["timeout"] is None
+
+
+def test_unknown_request_kind_rejected(cycle6):
+    payload = codec.decompose_request_to_dict(
+        canonical_hash=cycle6.canonical_hash(),
+        k=2,
+        algorithm="detk",
+        timeout=None,
+        options={},
+    )
+    payload["kind"] = "mystery"
+    with pytest.raises(ParseError):
+        codec.service_request_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# answers
+# --------------------------------------------------------------------------- #
+def test_decomposition_answer_round_trip(cycle6):
+    result = DetKDecomposer(use_engine=False).decompose_raw(cycle6, 2)
+    assert result.success
+    payload = codec.decomposition_answer_to_dict(result)
+    json.dumps(payload)
+    rebuilt = codec.decomposition_answer_from_dict(cycle6, payload)
+    assert rebuilt.success is True
+    assert rebuilt.timed_out is False
+    assert rebuilt.algorithm == result.algorithm
+    assert rebuilt.width_parameter == 2
+    assert rebuilt.hypergraph is cycle6  # hosted on the request's instance
+    assert rebuilt.decomposition.width == result.decomposition.width
+    validate_hd(rebuilt.decomposition)
+    assert (
+        rebuilt.statistics.search_counters() == result.statistics.search_counters()
+    )
+
+
+def test_failed_decomposition_answer_round_trip(cycle6):
+    result = DetKDecomposer(use_engine=False).decompose_raw(cycle6, 1)
+    assert not result.success
+    rebuilt = codec.decomposition_answer_from_dict(
+        cycle6, codec.decomposition_answer_to_dict(result)
+    )
+    assert rebuilt.success is False
+    assert rebuilt.decomposition is None
+
+
+@pytest.mark.parametrize("mode", ["enumerate", "count", "boolean"])
+def test_query_answer_round_trip(mode):
+    engine = QueryEngine(engine=DecompositionEngine(cache=False))
+    database = random_database_for_query(QUERY, domain_size=6, tuples_per_relation=30)
+    result = engine.execute(QUERY, database, mode)
+    payload = codec.query_answer_to_dict(
+        mode=mode,
+        answers=result.answers,
+        boolean=result.boolean,
+        count=result.count,
+        width=result.width,
+        plan_cached=result.plan_cached,
+        plan_seconds=result.plan_seconds,
+        execution_seconds=result.execution_seconds,
+        statistics=result.execution.statistics.as_dict(),
+    )
+    json.dumps(payload)
+    decoded = codec.query_answer_from_dict(payload)
+    assert decoded["mode"] == mode
+    assert decoded["boolean"] == result.boolean
+    assert decoded["count"] == result.count
+    assert decoded["width"] == result.width
+    assert decoded["statistics"] == result.execution.statistics.as_dict()
+    if mode == "enumerate":
+        assert decoded["answers"].as_dicts() == result.answers.as_dicts()
+    else:
+        assert decoded["answers"] is None
+
+
+# --------------------------------------------------------------------------- #
+# errors
+# --------------------------------------------------------------------------- #
+def test_builtin_error_round_trip():
+    payload = codec.error_to_dict(ValueError("bad input"), "Traceback: ...")
+    json.dumps(payload)
+    rebuilt = codec.error_from_dict(payload)
+    assert type(rebuilt) is ValueError
+    assert str(rebuilt) == "bad input"
+    assert rebuilt.remote_traceback == "Traceback: ..."
+
+
+@pytest.mark.parametrize("error", [QueryError("no"), TimeoutExceeded("slow")])
+def test_library_error_round_trip(error):
+    rebuilt = codec.error_from_dict(codec.error_to_dict(error, "tb"))
+    assert type(rebuilt) is type(error)
+    assert str(rebuilt) == str(error)
+    assert rebuilt.remote_traceback == "tb"
+
+
+def test_foreign_error_degrades_to_service_error():
+    payload = codec.error_to_dict(ValueError("boom"), "tb")
+    payload["module"] = "os.path"  # outside the builtins/repro.* whitelist
+    payload["type"] = "join"
+    rebuilt = codec.error_from_dict(payload)
+    assert isinstance(rebuilt, ServiceError)
+    assert "os.path.join" in str(rebuilt)
+    assert "boom" in str(rebuilt)
+    assert rebuilt.remote_traceback == "tb"
+
+
+def test_unknown_repro_error_degrades_to_service_error():
+    payload = {
+        "format": codec.ERROR_FORMAT,
+        "type": "NoSuchError",
+        "module": "repro.exceptions",
+        "message": "hm",
+        "traceback": "",
+    }
+    rebuilt = codec.error_from_dict(payload)
+    assert isinstance(rebuilt, ServiceError)
+    assert "NoSuchError" in str(rebuilt)
+
+
+# --------------------------------------------------------------------------- #
+# ship-once size guard
+# --------------------------------------------------------------------------- #
+def test_request_size_is_independent_of_hypergraph_size():
+    """A fat hypergraph must ship once per worker, not once per request.
+
+    The request payload references the instance by canonical hash; only the
+    separately shipped :func:`hypergraph_to_dict` payload grows with the
+    instance.
+    """
+    small = generators.cycle(4)
+    fat = generators.clique(40)
+
+    def request_for(hypergraph):
+        return codec.decompose_request_to_dict(
+            canonical_hash=hypergraph.canonical_hash(),
+            k=2,
+            algorithm="detk",
+            timeout=None,
+            options={},
+        )
+
+    small_wire = len(pickle.dumps(request_for(small)))
+    fat_wire = len(pickle.dumps(request_for(fat)))
+    assert fat_wire == small_wire  # both carry a fixed-width hash reference
+
+    # The structure itself dwarfs the request — shipping it per request
+    # would multiply the boundary traffic by orders of magnitude.
+    fat_structure = len(pickle.dumps(codec.hypergraph_to_dict(fat)))
+    assert fat_structure > 10 * fat_wire

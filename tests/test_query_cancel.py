@@ -1,0 +1,209 @@
+"""In-flight cancellation of running query executions.
+
+Pins the watchdog contract of the columnar executor — a set cancel event or
+an expired deadline aborts the execution at the *next* periodic check, not
+at some later stage boundary — and exercises the serving layer's
+``cancelled_running`` accounting for queries aborted mid-execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError, TimeoutExceeded
+from repro.hypergraph.cq import parse_conjunctive_query
+from repro.pipeline.engine import DecompositionEngine
+from repro.query import QueryEngine, random_database_for_query
+from repro.query.columnar import ColumnStore, PlanExecutor, _Watchdog
+from repro.query.database import Database
+from repro.query.plan import AnswerMode
+from repro.service import DecompositionService
+
+
+class _TripAfter:
+    """Cancel-event double: ``is_set()`` turns True after ``n`` polls."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.calls = 0
+
+    def is_set(self) -> bool:
+        self.calls += 1
+        return self.calls > self.n
+
+
+QUERY = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z), t(z,x).")
+
+
+def _engine_and_database():
+    engine = QueryEngine(engine=DecompositionEngine(cache=False))
+    database = random_database_for_query(QUERY, domain_size=6, tuples_per_relation=30)
+    return engine, database
+
+
+# --------------------------------------------------------------------------- #
+# watchdog unit behaviour
+# --------------------------------------------------------------------------- #
+def test_watchdog_raises_on_first_poll_after_cancel():
+    event = _TripAfter(3)
+    watchdog = _Watchdog(cancel_event=event, stride=1)
+    for _ in range(3):
+        watchdog.tick()  # polls 1..3 see an unset event
+    with pytest.raises(TimeoutExceeded):
+        watchdog.tick()
+    assert event.calls == 4  # aborted at exactly the first positive poll
+
+
+def test_watchdog_stride_bounds_poll_frequency():
+    event = _TripAfter(0)  # set from the start
+    watchdog = _Watchdog(cancel_event=event, stride=4)
+    watchdog.tick()
+    watchdog.tick()
+    watchdog.tick()  # three ticks under stride 4: no poll yet
+    assert event.calls == 0
+    with pytest.raises(TimeoutExceeded):
+        watchdog.tick()
+    assert event.calls == 1
+
+
+def test_watchdog_expired_deadline_raises():
+    watchdog = _Watchdog(deadline=time.monotonic() - 1.0, stride=1)
+    with pytest.raises(TimeoutExceeded):
+        watchdog.check()
+
+
+# --------------------------------------------------------------------------- #
+# executor-level cancellation (pinned: abort within one check interval)
+# --------------------------------------------------------------------------- #
+def test_enumerate_execution_cancels_within_one_check_interval():
+    engine, database = _engine_and_database()
+    planned, _ = engine.plan(QUERY, AnswerMode.ENUMERATE)
+
+    # Baseline: count how many polls a full run performs with stride 1.
+    # Fresh stores keep the two runs identical — a warm store would reuse
+    # cached bag tables and perform fewer checks.
+    probe = _TripAfter(10**9)
+    PlanExecutor(
+        ColumnStore(database), cancel_event=probe, check_stride=1
+    ).execute(planned.plan)
+    assert probe.calls > 1
+
+    # Cancel mid-run: the executor must abort at the first poll that sees
+    # the set event — one check interval, not the rest of the plan.
+    trip_at = probe.calls // 2
+    event = _TripAfter(trip_at)
+    with pytest.raises(TimeoutExceeded):
+        PlanExecutor(
+            ColumnStore(database), cancel_event=event, check_stride=1
+        ).execute(planned.plan)
+    assert event.calls == trip_at + 1
+
+
+def test_generous_deadline_does_not_change_answers():
+    engine, database = _engine_and_database()
+    unarmed = engine.execute(QUERY, database, AnswerMode.ENUMERATE)
+    armed = engine.execute(QUERY, database, AnswerMode.ENUMERATE, timeout=300.0)
+    assert armed.answers.as_dicts() == unarmed.answers.as_dicts()
+
+
+def test_execute_with_expired_timeout_raises():
+    engine, database = _engine_and_database()
+    with pytest.raises(TimeoutExceeded):
+        engine.execute(QUERY, database, AnswerMode.ENUMERATE, timeout=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# service-level cancellation accounting
+# --------------------------------------------------------------------------- #
+class _GatedRelation:
+    """Relation double whose tuples block until released.
+
+    ``Database.add`` only reads ``name``; the columnar store reads
+    ``schema``/``tuples`` when it first materialises an atom table, which
+    happens inside the running execution — so a service query against this
+    relation is reliably *started* (and inside the executor) while gated.
+    """
+
+    def __init__(self, inner, started: threading.Event, release: threading.Event):
+        self._inner = inner
+        self._started = started
+        self._release = release
+        self.name = inner.name
+        self.schema = inner.schema
+
+    @property
+    def tuples(self):
+        self._started.set()
+        assert self._release.wait(timeout=30)
+        return self._inner.tuples
+
+
+def _gated_database(started, release):
+    real = random_database_for_query(QUERY, domain_size=6, tuples_per_relation=30)
+    database = Database()
+    database.add(_GatedRelation(real.get("r"), started, release))
+    for name in ("s", "t"):
+        database.add(real.get(name))
+    return database
+
+
+def test_cancel_aborts_running_query(cycle6):
+    started, release = threading.Event(), threading.Event()
+    database = _gated_database(started, release)
+    svc = DecompositionService(num_workers=2, engine=DecompositionEngine(cache=False))
+    try:
+        ticket = svc.submit_query(QUERY, database, "enumerate")
+        assert started.wait(timeout=10)  # execution is inside the store build
+        assert ticket.cancel() is True
+        release.set()  # the executor resumes, then sees the event and aborts
+        with pytest.raises(ServiceError):
+            ticket.result(timeout=30)
+        deadline = time.monotonic() + 10
+        while svc.stats().cancelled == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        stats = svc.stats()
+        assert stats.cancelled == 1
+        assert stats.cancelled_running == 1  # aborted while executing
+        # The service keeps serving afterwards.
+        assert svc.submit(cycle6, 2).result(timeout=30).success
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_queued_cancel_is_not_counted_as_running(cycle6):
+    started, release = threading.Event(), threading.Event()
+    database = _gated_database(started, release)
+    svc = DecompositionService(num_workers=1, engine=DecompositionEngine(cache=False))
+    try:
+        blocker = svc.submit_query(QUERY, database, "enumerate")
+        assert started.wait(timeout=10)
+        queued = svc.submit(cycle6, 2)  # sits behind the gated query
+        assert queued.cancel() is True  # dropped before it ever ran
+        release.set()
+        assert blocker.result(timeout=30).boolean in (True, False)
+        stats = svc.stats()
+        assert stats.cancelled == 1
+        assert stats.cancelled_running == 0
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)
+
+
+def test_query_timeout_aborts_running_execution():
+    started, release = threading.Event(), threading.Event()
+    database = _gated_database(started, release)
+    svc = DecompositionService(num_workers=2, engine=DecompositionEngine(cache=False))
+    try:
+        ticket = svc.submit_query(QUERY, database, "enumerate", timeout=0.05)
+        assert started.wait(timeout=10)
+        time.sleep(0.1)  # hold the gate past the execution deadline
+        release.set()
+        with pytest.raises(TimeoutExceeded):
+            ticket.result(timeout=30)
+        stats = svc.stats()
+        assert stats.failed == 1
+        assert stats.cancelled_running == 0  # deadline, not a cancel
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)

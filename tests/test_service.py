@@ -234,7 +234,10 @@ def test_cancel_aborts_running_search(blocking_algorithm, cycle6):
         deadline = time.monotonic() + 10
         while svc.stats().cancelled == 0 and time.monotonic() < deadline:
             time.sleep(0.005)
-        assert svc.stats().cancelled == 1
+        stats = svc.stats()
+        assert stats.cancelled == 1
+        assert stats.cancelled_running == 1  # aborted mid-search, not queued
+        assert stats.as_dict()["cancelled_running"] == 1
         assert log == []  # the search never completed
         # The service keeps serving afterwards (fresh key, real algorithm).
         result = svc.submit(generators.cycle(6), 2, algorithm="detk").result(timeout=30)
@@ -384,6 +387,7 @@ def test_shutdown_drain_skips_stale_escalation_entries(blocking_algorithm, cycle
     # tickets and was finalized exactly once despite the stale entry (a
     # double finalize would count four).
     assert stats.cancelled == 2
+    assert stats.cancelled_running == 0  # drained while queued, never ran
     # The running blocker was asked to cancel and resolves as timed out.
     assert blocker.result(timeout=30).timed_out
     # Every submitted request is accounted for exactly once.
