@@ -324,7 +324,15 @@ def database_to_dict(database) -> dict:
     otherwise) — object-valued tuples have no stable wire identity.  Rows
     are emitted in a deterministic order so equal databases encode to equal
     payloads.
+
+    A path-backed database (one exposing a string ``path`` attribute, i.e.
+    :class:`~repro.query.sqlgen.SQLDatabase`) ships as the *path* alone: the
+    receiver reopens the file, so arbitrarily large databases never cross
+    the wire row by row.
     """
+    path = getattr(database, "path", None)
+    if isinstance(path, str):
+        return {"format": DATABASE_FORMAT, "path": path}
     relations = []
     for name in database.relation_names():
         relation = database.get(name)
@@ -346,6 +354,10 @@ def database_from_dict(payload: dict):
     from ..query.relation import Relation  # import chain leads back here
 
     _check_format(payload, DATABASE_FORMAT, "database")
+    if "path" in payload:
+        from ..query.sqlgen import SQLDatabase  # deferred, same chain
+
+        return SQLDatabase(_require(payload, "path", str))
     database = Database()
     for entry in _require(payload, "relations", list):
         name = _require(entry, "name", str)
@@ -401,6 +413,7 @@ def query_request_to_dict(
     mode: str,
     database: str,
     timeout: float | None,
+    executor: str = "columnar",
 ) -> dict:
     """Encode a query request; ``database`` is the parent's shipping token
     for the (separately shipped) database payload."""
@@ -413,6 +426,7 @@ def query_request_to_dict(
         "mode": mode,
         "database": database,
         "timeout": timeout,
+        "executor": executor,
     }
 
 
@@ -423,7 +437,8 @@ def service_request_from_dict(payload: dict) -> dict:
     ``hypergraph`` — the canonical hash reference —, ``k``, ``algorithm``,
     ``timeout``, ``options``) or ``"query"`` (fields ``query`` — a rebuilt
     :class:`~repro.hypergraph.cq.ConjunctiveQuery` —, ``mode``,
-    ``database`` — the shipping token —, ``timeout``).
+    ``database`` — the shipping token —, ``timeout``, ``executor`` —
+    defaulting to ``"columnar"`` for payloads from older senders).
     """
     _check_format(payload, REQUEST_FORMAT, "service request")
     kind = _require(payload, "kind", str)
@@ -459,12 +474,16 @@ def service_request_from_dict(payload: dict) -> dict:
             free_variables=tuple(_string_list(payload, "free_variables")),
             name=_require(payload, "query_name", str),
         )
+        executor = payload.get("executor", "columnar")
+        if not isinstance(executor, str):
+            raise ParseError("query payload executor must be a string")
         return {
             "kind": kind,
             "query": query,
             "mode": _require(payload, "mode", str),
             "database": _require(payload, "database", str),
             "timeout": timeout,
+            "executor": executor,
         }
     raise ParseError(f"unknown service request kind {kind!r}")
 

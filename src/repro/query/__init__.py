@@ -1,10 +1,13 @@
 """Database application substrate: relations, joins, Yannakakis, CQ/CSP evaluation.
 
-Two evaluation arms are provided: the eager, tuple-at-a-time reference
-pipeline (:mod:`repro.query.yannakakis` over :class:`Relation`) and the
+Three evaluation arms are provided: the eager, tuple-at-a-time reference
+pipeline (:mod:`repro.query.yannakakis` over :class:`Relation`), the
 plan-compiled columnar engine (:mod:`repro.query.plan` +
-:mod:`repro.query.columnar`), fronted by :class:`QueryEngine` /
-:class:`QueryWorkload` for serving whole workloads with cached plans.
+:mod:`repro.query.columnar`), and the SQL pushdown arm
+(:mod:`repro.query.sqlgen`), which compiles the same plans to SQL executed
+on SQLite so on-disk databases far larger than memory stay reachable — all
+fronted by :class:`QueryEngine` / :class:`QueryWorkload` for serving whole
+workloads with cached plans.
 """
 
 from .relation import Relation
@@ -20,6 +23,14 @@ from .columnar import (
     execute_plan,
 )
 from .cq_eval import EvaluationReport, evaluate_query, materialise_bags
+from .sqlgen import (
+    SQLDatabase,
+    SQLProgram,
+    SQLStore,
+    compile_sql,
+    dump_database,
+    execute_plan_sql,
+)
 from .workload import (
     PlannedQuery,
     QueryEngine,
@@ -55,6 +66,12 @@ __all__ = [
     "EvaluationReport",
     "evaluate_query",
     "materialise_bags",
+    "SQLDatabase",
+    "SQLProgram",
+    "SQLStore",
+    "compile_sql",
+    "dump_database",
+    "execute_plan_sql",
     "PlannedQuery",
     "QueryEngine",
     "QueryResult",

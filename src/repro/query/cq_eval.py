@@ -120,7 +120,10 @@ def evaluate_query(
 
     ``executor`` selects the evaluation arm: ``"columnar"`` (default)
     compiles the join tree into a :class:`~repro.query.plan.QueryPlan` and
-    runs the columnar executor; ``"eager"`` runs the original
+    runs the columnar executor; ``"sql"`` compiles the same plan to a SQL
+    program pushed down into SQLite (:mod:`repro.query.sqlgen` — pass a
+    :class:`~repro.query.sqlgen.SQLDatabase` to answer an on-disk file
+    without loading it); ``"eager"`` runs the original
     tuple-at-a-time pipeline (only ``mode="enumerate"`` is supported there).
     ``mode`` is an :class:`~repro.query.plan.AnswerMode`: ``enumerate``
     returns the answers, ``boolean`` only decides non-emptiness (with early
@@ -130,8 +133,8 @@ def evaluate_query(
     dictionary encoding across calls.
     """
     mode = AnswerMode.coerce(mode)
-    if executor not in ("columnar", "eager"):
-        raise QueryError(f"unknown executor {executor!r}; known: columnar, eager")
+    if executor not in ("columnar", "eager", "sql"):
+        raise QueryError(f"unknown executor {executor!r}; known: columnar, eager, sql")
     if executor == "eager" and mode is not AnswerMode.ENUMERATE:
         raise QueryError("the eager reference executor only supports mode='enumerate'")
 
@@ -157,9 +160,15 @@ def evaluate_query(
 
     plan: QueryPlan | None = None
     count: int | None = None
-    if executor == "columnar":
+    if executor in ("columnar", "sql"):
         plan = compile_plan(query, join_tree, mode)
-        result = execute_plan(plan, database, store)
+        if executor == "sql":
+            from .sqlgen import SQLStore, execute_plan_sql
+
+            sql_store = store if isinstance(store, SQLStore) else None
+            result = execute_plan_sql(plan, database, sql_store)
+        else:
+            result = execute_plan(plan, database, store)
         answers = result.answers
         count = result.count
         if mode is AnswerMode.BOOLEAN:

@@ -107,9 +107,10 @@ class DecompositionCSPSolver:
         """Decide satisfiability only — a ``boolean``-mode plan with early exit.
 
         The eager reference arm has no boolean mode, so a solver configured
-        with ``executor="eager"`` answers through the full :meth:`solve`.
+        with ``executor="eager"`` answers through the full :meth:`solve`;
+        the columnar and SQL arms take the early-exit fast path.
         """
-        if self.executor != "columnar":
+        if self.executor not in ("columnar", "sql"):
             return self.solve(csp).satisfiable
         query, database = csp_to_query(csp)
         report = evaluate_query(
@@ -118,7 +119,7 @@ class DecompositionCSPSolver:
             algorithm=self.algorithm,
             max_width=self.max_width,
             timeout=self.timeout,
-            executor="columnar",
+            executor=self.executor,
             mode="boolean",
         )
         return report.boolean_answer
@@ -127,9 +128,10 @@ class DecompositionCSPSolver:
         """Count solutions without materialising/decoding them (``count`` mode).
 
         With ``executor="eager"`` the count comes from the enumerated
-        answers of :meth:`solve` (the reference arm has no count mode).
+        answers of :meth:`solve` (the reference arm has no count mode); the
+        columnar and SQL arms count without decoding.
         """
-        if self.executor != "columnar":
+        if self.executor not in ("columnar", "sql"):
             return self.solve(csp).num_solutions_found
         query, database = csp_to_query(csp)
         report = evaluate_query(
@@ -138,7 +140,7 @@ class DecompositionCSPSolver:
             algorithm=self.algorithm,
             max_width=self.max_width,
             timeout=self.timeout,
-            executor="columnar",
+            executor=self.executor,
             mode="count",
         )
         return int(report.count or 0)

@@ -1,0 +1,827 @@
+"""SQL pushdown execution of compiled query plans.
+
+The third executor arm: a :class:`~repro.query.plan.QueryPlan` — already an
+explicit operator program — compiles to a SQL program executed on SQLite
+(DuckDB is recognised but optional; see :data:`HAS_DUCKDB`).  The planner and
+decomposition layers stay untouched; only the operator interpretation moves
+into the database engine, which is what lets databases far larger than
+memory be answered with Yannakakis-over-SQL:
+
+1. every atom becomes an indexed ``CREATE TEMP TABLE`` over its base table,
+   projecting onto the atom's distinct variables and enforcing
+   repeated-variable equality (mirrors
+   :meth:`~repro.query.columnar.ColumnStore.atom_table`); indexes on the
+   probed columns keep the correlated ``EXISTS`` probes at seek cost;
+2. every :class:`~repro.query.plan.BagOp` materialises as
+   ``CREATE TEMP TABLE bag_i AS SELECT DISTINCT ...`` joining the λ-cover
+   views, with one ``EXISTS`` per assigned atom;
+3. the bottom-up/top-down semijoin passes run as
+   ``DELETE FROM bag_t WHERE NOT EXISTS (...)`` — the full reduction in
+   place, no copies;
+4. the plan's bottom-up join schedule compiles step by step — each
+   :class:`~repro.query.plan.JoinOp` / :class:`~repro.query.plan.ProjectOp`
+   becomes one ``CREATE TEMP TABLE res_k AS SELECT DISTINCT ...`` over the
+   previous step's tables (never a flat n-way join, which SQLite caps at 64
+   tables and misorders long before that), so every intermediate stays
+   within Yannakakis' output-bounded guarantee; the answer then reads the
+   root's result with mode-specific tails: a plain ``SELECT`` for
+   ``enumerate``, ``EXISTS`` for ``boolean``, ``COUNT(*)`` for ``count``
+   (rows are never decoded).
+
+Two data sources are supported.  An in-memory
+:class:`~repro.query.database.Database` is bulk-loaded once per
+:class:`SQLStore` with every value interned to an integer code (the same
+trick the columnar store uses), so SQL equality is exactly Python equality
+and enumerate answers decode byte-identical to the other executors.  A
+:class:`SQLDatabase` wraps an existing SQLite *file*: the executor opens the
+file directly and rows never enter Python (except decoded answers), while
+``get()`` still lazily materialises relations so the eager/columnar arms —
+and the differential tests — accept the same handle.
+
+All equality predicates use SQLite's null-safe ``IS`` operator, so ``None``
+values join with themselves exactly as they do in the Python executors.
+
+Cancellation mirrors the columnar ``_Watchdog``: an armed execution runs a
+small watcher thread that calls :meth:`sqlite3.Connection.interrupt` when
+the cancel event sets or the deadline passes, and the interrupted statement
+surfaces as :class:`~repro.exceptions.TimeoutExceeded` with the same
+messages — the serving layer's ``cancelled_running`` accounting works
+unchanged.  Transient SQLite errors at the ``sqlgen.connect`` /
+``sqlgen.exec`` fault points are retried per statement under a
+:class:`~repro.faults.RetryPolicy` (each statement is atomic, so a retry can
+never double-apply); interrupts are never retried.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+
+from .. import faults
+from ..exceptions import QueryError, TimeoutExceeded
+from ..faults.resilience import RetryPolicy
+from .columnar import ExecutionResult, ExecutionStatistics
+from .database import Database
+from .plan import AnswerMode, JoinOp, ProjectOp, QueryPlan
+from .relation import Relation
+
+try:  # Optional second dialect; CI images ship without it.
+    import duckdb as _duckdb  # noqa: F401
+except ImportError:  # pragma: no cover - exercised on duckdb-less installs
+    _duckdb = None
+
+#: Whether the optional DuckDB dialect is importable.  The SQLite program is
+#: valid DuckDB SQL except for minor pragma differences; generation is kept
+#: dialect-free so a DuckDB runner only needs a different connection factory.
+HAS_DUCKDB = _duckdb is not None
+
+__all__ = [
+    "HAS_DUCKDB",
+    "SQLProgram",
+    "SQLDatabase",
+    "SQLStore",
+    "SQLExecutor",
+    "compile_sql",
+    "dump_database",
+    "execute_plan_sql",
+]
+
+#: Watcher poll interval; bounds how late an interrupt lands.
+_INTERRUPT_POLL = 0.02
+
+
+def _quote(name: str) -> str:
+    """Quote an arbitrary string as a SQL identifier."""
+    return '"' + str(name).replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class SQLProgram:
+    """A compiled, connection-independent SQL rendering of one plan.
+
+    ``setup`` holds the atom views and bag ``CREATE``s in execution order;
+    ``bottom_up``/``top_down`` pair each ``DELETE`` with its target bag table
+    (for the post-delete emptiness probe); ``joins`` renders the plan's join
+    schedule as ``CREATE TEMP TABLE res_k`` steps (each tagged ``"join"`` or
+    ``"project"`` for statistics); ``answer`` is the final ``SELECT`` and
+    ``answer_kind`` says how to interpret its single result — ``"rows"``
+    (enumerate), ``"count"`` (a scalar count) or ``"exists"`` (a 0/1
+    existence flag).  ``cleanup`` drops every temp object so the connection
+    can be reused by the next query.
+    """
+
+    mode: AnswerMode
+    output: tuple[str, ...]
+    setup: tuple[str, ...]
+    bag_tables: tuple[str, ...]
+    bottom_up: tuple[tuple[str, str], ...]
+    top_down: tuple[tuple[str, str], ...]
+    joins: tuple[tuple[str, str], ...]
+    answer: str
+    answer_kind: str
+    cleanup: tuple[str, ...]
+
+    @property
+    def statements(self) -> tuple[str, ...]:
+        """Every statement of the program in execution order (answer last)."""
+        return (
+            self.setup
+            + tuple(sql for sql, _ in self.bottom_up)
+            + tuple(sql for sql, _ in self.top_down)
+            + tuple(sql for sql, _ in self.joins)
+            + (self.answer,)
+        )
+
+    def describe(self) -> str:
+        """The SQL program as one script (cleanup omitted)."""
+        return ";\n".join(self.statements) + ";"
+
+
+def compile_sql(plan: QueryPlan, catalog: dict[str, tuple[str, tuple[str, ...]]]) -> SQLProgram:
+    """Compile ``plan`` into a :class:`SQLProgram`.
+
+    ``catalog`` maps each relation name used by the plan to its base table
+    — ``(quoted SQL table reference, column names in schema order)`` — which
+    is the only source-specific input: the interned in-memory tables and an
+    attached database file compile through the same generator.
+    """
+    setup: list[str] = []
+    # -- atom tables: project onto distinct variables, enforce repeats ------ #
+    # Materialised (not views): the assigned-atom EXISTS probes below are
+    # correlated subqueries, and SQLite re-evaluates a *view* body per outer
+    # row — an indexed temp table turns each probe into one B-tree lookup.
+    for index, binding in enumerate(plan.atoms):
+        try:
+            table, columns = catalog[binding.relation]
+        except KeyError:
+            raise QueryError(f"unknown relation {binding.relation!r}") from None
+        if len(columns) != len(binding.arguments):
+            raise QueryError(
+                f"atom {binding.edge} has arity {len(binding.arguments)} but "
+                f"relation {binding.relation!r} has arity {len(columns)}"
+            )
+        selects = []
+        for variable in binding.variables:
+            position = binding.arguments.index(variable)
+            selects.append(f"{_quote(columns[position])} AS {_quote(variable)}")
+        where = [
+            f"{_quote(columns[i])} IS {_quote(columns[binding.arguments.index(v)])}"
+            for i, v in enumerate(binding.arguments)
+            if binding.arguments.index(v) != i
+        ]
+        sql = (
+            f"CREATE TEMP TABLE atom_{index} AS "
+            f"SELECT DISTINCT {', '.join(selects)} FROM {table}"
+        )
+        if where:
+            sql += f" WHERE {' AND '.join(where)}"
+        setup.append(sql)
+
+    # -- bag materialisation ---------------------------------------------- #
+    bag_tables: list[str] = []
+    indexed: set[tuple[str, tuple[str, ...]]] = set()
+
+    def ensure_index(table: str, columns: tuple[str, ...]) -> None:
+        """Index ``table`` on ``columns`` (once) so correlated probes seek."""
+        if not columns or (table, columns) in indexed:
+            return
+        indexed.add((table, columns))
+        cols = ", ".join(_quote(c) for c in columns)
+        setup.append(f"CREATE INDEX idx_{len(indexed)}_{table} ON {table} ({cols})")
+
+    for bag in plan.bags:
+        aliases = [f"c{j}" for j in range(len(bag.cover))]
+        canonical: dict[str, str] = {}
+        predicates: list[str] = []
+        for alias, atom_index in zip(aliases, bag.cover):
+            for variable in plan.atoms[atom_index].variables:
+                first = canonical.get(variable)
+                if first is None:
+                    canonical[variable] = alias
+                else:
+                    predicates.append(
+                        f"{alias}.{_quote(variable)} IS {first}.{_quote(variable)}"
+                    )
+        missing = [v for v in bag.variables if v not in canonical]
+        if missing:
+            raise QueryError(
+                f"bag variables {missing} are not covered by the node's λ-label"
+            )
+        for atom_index in bag.assigned:
+            binding = plan.atoms[atom_index]
+            shared = [v for v in binding.variables if v in canonical]
+            ensure_index(f"atom_{atom_index}", tuple(shared))
+            inner = f"SELECT 1 FROM atom_{atom_index} AS e"
+            if shared:
+                inner += " WHERE " + " AND ".join(
+                    f"e.{_quote(v)} IS {canonical[v]}.{_quote(v)}" for v in shared
+                )
+            predicates.append(f"EXISTS ({inner})")
+        if bag.variables:
+            select = ", ".join(
+                f"{canonical[v]}.{_quote(v)} AS {_quote(v)}" for v in bag.variables
+            )
+        else:
+            select = '1 AS "__unit__"'  # a 0-ary bag still has 0 or 1 rows
+        sources = ", ".join(
+            f"atom_{atom_index} AS {alias}"
+            for alias, atom_index in zip(aliases, bag.cover)
+        )
+        table_name = f"bag_{bag.node}"
+        sql = f"CREATE TEMP TABLE {table_name} AS SELECT DISTINCT {select} FROM {sources}"
+        if predicates:
+            sql += f" WHERE {' AND '.join(predicates)}"
+        setup.append(sql)
+        bag_tables.append(table_name)
+
+    # -- the semijoin passes (full reduction, in place) -------------------- #
+    def delete_for(op) -> tuple[str, str]:
+        target, source = f"bag_{op.target}", f"bag_{op.source}"
+        inner = f"SELECT 1 FROM {source}"
+        if op.on:
+            inner += " WHERE " + " AND ".join(
+                f"{source}.{_quote(v)} IS {target}.{_quote(v)}" for v in op.on
+            )
+        return (f"DELETE FROM {target} WHERE NOT EXISTS ({inner})", target)
+
+    bottom_up = tuple(delete_for(op) for op in plan.bottom_up)
+    top_down = tuple(delete_for(op) for op in plan.top_down)
+    # Each DELETE probes its *source* bag per surviving target row; an index
+    # on the join columns makes that probe a seek instead of a scan.
+    for op in plan.bottom_up + plan.top_down:
+        ensure_index(f"bag_{op.source}", tuple(op.on))
+
+    # -- the join schedule, one temp table per step ------------------------- #
+    # The plan's bottom-up join schedule is compiled step by step rather than
+    # as one flat SELECT over all bags: a flat join hands SQLite's planner an
+    # n-way join (hard-capped at 64 tables, and catastrophically ordered well
+    # before that on wide plans), while the schedule keeps every intermediate
+    # bounded by Yannakakis' guarantee — each step retains only output
+    # variables plus the parent bag's own.
+    joins: list[tuple[str, str]] = []
+    join_tables: list[str] = []
+    current: dict[int, tuple[str, tuple[str, ...]]] = {}
+
+    def node_state(node: int) -> tuple[str, tuple[str, ...]]:
+        state = current.get(node)
+        if state is None:
+            state = (f"bag_{node}", plan.node_variables[node])
+            current[node] = state
+        return state
+
+    def fresh_table() -> str:
+        name = f"res_{len(join_tables)}"
+        join_tables.append(name)
+        return name
+
+    if plan.mode is not AnswerMode.BOOLEAN:
+        for op in plan.join_schedule:
+            if isinstance(op, JoinOp):
+                left_table, left_schema = node_state(op.target)
+                right_table, _ = node_state(op.source)
+                shared = tuple(v for v in left_schema if v in op.retain)
+                extras = tuple(v for v in op.retain if v not in left_schema)
+                name = fresh_table()
+                if extras:
+                    select = ", ".join(
+                        [f"L.{_quote(v)} AS {_quote(v)}" for v in left_schema]
+                        + [f"R.{_quote(v)} AS {_quote(v)}" for v in extras]
+                    )
+                    retained = ", ".join(_quote(v) for v in op.retain)
+                    sql = (
+                        f"CREATE TEMP TABLE {name} AS SELECT DISTINCT {select} "
+                        f"FROM {left_table} AS L, "
+                        f"(SELECT DISTINCT {retained} FROM {right_table}) AS R"
+                    )
+                    if shared:
+                        sql += " WHERE " + " AND ".join(
+                            f"L.{_quote(v)} IS R.{_quote(v)}" for v in shared
+                        )
+                    schema = left_schema + extras
+                else:
+                    # The child contributes no new columns — a pure semijoin.
+                    inner = f"SELECT 1 FROM {right_table} AS R"
+                    if shared:
+                        inner += " WHERE " + " AND ".join(
+                            f"R.{_quote(v)} IS L.{_quote(v)}" for v in shared
+                        )
+                    select = ", ".join(
+                        f"L.{_quote(v)} AS {_quote(v)}" for v in left_schema
+                    ) or '1 AS "__unit__"'
+                    sql = (
+                        f"CREATE TEMP TABLE {name} AS SELECT DISTINCT {select} "
+                        f"FROM {left_table} AS L WHERE EXISTS ({inner})"
+                    )
+                    schema = left_schema
+                joins.append((sql, "join"))
+                current[op.target] = (name, schema)
+            elif isinstance(op, ProjectOp):
+                table, _ = node_state(op.node)
+                name = fresh_table()
+                if op.attributes:
+                    select = ", ".join(_quote(v) for v in op.attributes)
+                    sql = f"CREATE TEMP TABLE {name} AS SELECT DISTINCT {select} FROM {table}"
+                else:
+                    sql = (
+                        f"CREATE TEMP TABLE {name} AS "
+                        f'SELECT DISTINCT 1 AS "__unit__" FROM {table}'
+                    )
+                joins.append((sql, "project"))
+                current[op.node] = (name, op.attributes)
+            else:  # pragma: no cover - the schedule has exactly two op kinds
+                raise QueryError(f"unknown join-schedule op {op!r}")
+
+    # -- the final SELECT over the root's result ---------------------------- #
+    if plan.mode is AnswerMode.BOOLEAN:
+        # The plan stops after the bottom-up pass; a surviving root tuple
+        # decides the query, so only the root bag is probed.
+        answer = "SELECT EXISTS (SELECT 1 FROM bag_0)"
+        answer_kind = "exists"
+    else:
+        root_table, _ = node_state(0)
+        if not plan.output:
+            answer = f"SELECT EXISTS (SELECT 1 FROM {root_table})"
+            answer_kind = "exists"
+        elif plan.mode is AnswerMode.COUNT:
+            # Every schedule step selects DISTINCT, so rows are unique already.
+            answer = f"SELECT COUNT(*) FROM {root_table}"
+            answer_kind = "count"
+        else:
+            select = ", ".join(_quote(v) for v in plan.output)
+            answer = f"SELECT {select} FROM {root_table}"
+            answer_kind = "rows"
+
+    cleanup = tuple(
+        [f"DROP TABLE IF EXISTS {table}" for table in reversed(join_tables)]
+        + [f"DROP TABLE IF EXISTS {table}" for table in bag_tables]
+        + [f"DROP TABLE IF EXISTS atom_{index}" for index in range(len(plan.atoms))]
+    )
+    return SQLProgram(
+        mode=plan.mode,
+        output=plan.output,
+        setup=tuple(setup),
+        bag_tables=tuple(bag_tables),
+        bottom_up=bottom_up,
+        top_down=top_down,
+        joins=tuple(joins),
+        answer=answer,
+        answer_kind=answer_kind,
+        cleanup=cleanup,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# path-backed databases
+# --------------------------------------------------------------------------- #
+class SQLDatabase(Database):
+    """A database living in a SQLite file, usable by *all three* executors.
+
+    The schema catalogue (table names and columns) is read once at
+    construction; :meth:`get` materialises a relation into memory lazily, so
+    the eager and columnar arms — and the differential tests — accept the
+    same handle, while the SQL executor opens :attr:`path` directly and
+    never pulls base rows into Python.  The file is treated as read-only
+    (only ``TEMP`` objects are ever created on its connections), and the
+    process-backed serving layer ships the *path* as the payload token, so
+    large files never cross the pipe.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        self.path = str(path)
+        self._schemas: dict[str, tuple[str, ...]] = {}
+        faults.fire("sqlgen.connect", path=self.path)
+        connection = sqlite3.connect(self.path)
+        try:
+            tables = connection.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table' AND name NOT LIKE 'sqlite_%'"
+            ).fetchall()
+            for (name,) in tables:
+                info = connection.execute(f"PRAGMA table_info({_quote(name)})").fetchall()
+                self._schemas[name] = tuple(row[1] for row in info)
+        finally:
+            connection.close()
+
+    def table_columns(self, name: str) -> tuple[str, ...]:
+        """Column names of relation ``name`` as stored in the file."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise QueryError(f"unknown relation {name!r}") from None
+
+    def add(self, relation: Relation) -> None:
+        raise QueryError("a SQLDatabase is read-only; relations live in the file")
+
+    def get(self, name: str) -> Relation:
+        relation = self._relations.get(name)
+        if relation is not None:
+            return relation
+        columns = self.table_columns(name)
+        select = ", ".join(_quote(c) for c in columns) or "1"
+        connection = sqlite3.connect(self.path)
+        try:
+            rows = connection.execute(f"SELECT {select} FROM {_quote(name)}").fetchall()
+        finally:
+            connection.close()
+        relation = Relation.from_trusted_rows(name, columns, set(rows))
+        self._relations[name] = relation
+        return relation
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._schemas
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def relation_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def total_tuples(self) -> int:
+        connection = sqlite3.connect(self.path)
+        try:
+            return sum(
+                connection.execute(f"SELECT COUNT(*) FROM {_quote(name)}").fetchone()[0]
+                for name in self._schemas
+            )
+        finally:
+            connection.close()
+
+
+def dump_database(database: Database, path) -> SQLDatabase:
+    """Write an in-memory database to a SQLite file; returns the path handle.
+
+    Values must be JSON scalars (str/int/float/bool/None); booleans come
+    back as 0/1 integers — equal under Python ``==``, which is what the
+    differential guarantees are stated in.
+    """
+    connection = sqlite3.connect(str(path))
+    try:
+        for name in database.relation_names():
+            relation = database.get(name)
+            columns = ", ".join(_quote(c) for c in relation.schema)
+            connection.execute(f"CREATE TABLE {_quote(name)} ({columns})")
+            for row in relation.tuples:
+                for value in row:
+                    if not isinstance(value, (str, int, float, bool, type(None))):
+                        raise QueryError(
+                            f"relation {name!r} holds a non-scalar value of type "
+                            f"{type(value).__name__}; only str/int/float/bool/None "
+                            "can be dumped to SQLite"
+                        )
+            placeholders = ", ".join("?" for _ in relation.schema)
+            connection.executemany(
+                f"INSERT INTO {_quote(name)} VALUES ({placeholders})",
+                [tuple(row) for row in relation.tuples],
+            )
+        connection.commit()
+    finally:
+        connection.close()
+    return SQLDatabase(path)
+
+
+# --------------------------------------------------------------------------- #
+# per-database connection + interning state
+# --------------------------------------------------------------------------- #
+class SQLStore:
+    """Persistent SQL-execution state of one database (the warm-cache unit).
+
+    Holds the long-lived connection (an in-memory SQLite holding the
+    interned base tables, or the opened :class:`SQLDatabase` file) plus the
+    value-interning dictionary for in-memory sources.  Executions serialise
+    on :attr:`lock` — SQLite connections are single-statement engines — so
+    one store serves concurrent callers safely; keep one store per database
+    to amortise bulk loading across a workload, exactly like
+    :class:`~repro.query.columnar.ColumnStore`.
+    """
+
+    def __init__(self, database: Database, retry: RetryPolicy | None = None) -> None:
+        self.database = database
+        self.path = database.path if isinstance(database, SQLDatabase) else None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.lock = threading.RLock()
+        self._connection: sqlite3.Connection | None = None
+        self._loaded: set[str] = set()
+        self._codes: dict[object, int] = {}
+        self._values: list[object] = []
+
+    @property
+    def interned(self) -> bool:
+        """True iff the source is an in-memory database loaded via interning."""
+        return self.path is None
+
+    def encode(self, value: object) -> int:
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._codes[value] = code
+        return code
+
+    def decode(self, code: int) -> object:
+        return self._values[code]
+
+    def connection(self) -> sqlite3.Connection:
+        """The store's connection, opened (with retry) on first use.
+
+        ``isolation_level=None`` puts the connection in autocommit mode:
+        every statement is its own atomic transaction, which is what makes
+        per-statement retry safe — a failed statement changed nothing.
+        """
+        with self.lock:
+            if self._connection is None:
+                target = self.path if self.path is not None else ":memory:"
+
+                def attempt():
+                    faults.fire("sqlgen.connect", path=target)
+                    return sqlite3.connect(
+                        target, check_same_thread=False, isolation_level=None
+                    )
+
+                self._connection = self.retry.call(attempt, retry_on=(sqlite3.Error,))
+            return self._connection
+
+    def catalog_for(self, plan: QueryPlan) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """The base-table catalog :func:`compile_sql` needs for ``plan``."""
+        catalog: dict[str, tuple[str, tuple[str, ...]]] = {}
+        for binding in plan.atoms:
+            if binding.relation in catalog:
+                continue
+            if self.path is not None:
+                columns = self.database.table_columns(binding.relation)  # type: ignore[attr-defined]
+                catalog[binding.relation] = (_quote(binding.relation), columns)
+            else:
+                base = self.database.get(binding.relation)
+                catalog[binding.relation] = (
+                    _quote(f"base_{binding.relation}"),
+                    tuple(f"c{i}" for i in range(len(base.schema))),
+                )
+        return catalog
+
+    def source_fingerprint(self, plan: QueryPlan) -> tuple:
+        """Identity of the generated SQL's source side (for program caching)."""
+        if self.path is None:
+            return ("memory",)
+        return ("disk",) + tuple(
+            sorted(
+                (r, self.database.table_columns(r))  # type: ignore[attr-defined]
+                for r in {binding.relation for binding in plan.atoms}
+            )
+        )
+
+    def ensure_loaded(self, plan: QueryPlan, executor: "SQLExecutor") -> None:
+        """Bulk-load (once) every base relation an in-memory plan touches."""
+        if self.path is not None:
+            return
+        connection = self.connection()
+        for binding in plan.atoms:
+            name = binding.relation
+            if name in self._loaded:
+                continue
+            base = self.database.get(name)
+            arity = len(base.schema)
+            if arity == 0:
+                raise QueryError("the sql executor does not support 0-ary relations")
+            columns = ", ".join(f"c{i} INTEGER" for i in range(arity))
+            executor._exec(connection, f'CREATE TABLE {_quote(f"base_{name}")} ({columns})')
+            encode = self.encode
+            rows = [tuple(encode(value) for value in row) for row in base.tuples]
+            placeholders = ", ".join("?" for _ in range(arity))
+            connection.executemany(
+                f'INSERT INTO {_quote(f"base_{name}")} VALUES ({placeholders})', rows
+            )
+            self._loaded.add(name)
+
+
+class _InterruptGuard:
+    """Armed cancellation for one SQL execution (the ``_Watchdog`` twin).
+
+    While armed, a watcher thread polls the cancel event and deadline and
+    calls :meth:`sqlite3.Connection.interrupt` the moment either fires; the
+    aborted statement's :class:`sqlite3.OperationalError` is translated to
+    :class:`~repro.exceptions.TimeoutExceeded` by the executor.  ``check()``
+    at statement boundaries catches a signal that lands *between*
+    statements.  Unarmed guards (no event, no deadline) start no thread.
+    """
+
+    __slots__ = ("connection", "cancel_event", "deadline", "fired", "reason", "_stop", "_thread")
+
+    def __init__(self, connection, cancel_event=None, deadline: float | None = None) -> None:
+        self.connection = connection
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+        self.fired = False
+        self.reason = ""
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _trigger(self, reason: str) -> None:
+        self.reason = reason
+        self.fired = True
+
+    def _poll(self) -> bool:
+        event = self.cancel_event
+        if event is not None and event.is_set():
+            self._trigger("query execution cancelled")
+            return True
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self._trigger("query execution exceeded its time budget")
+            return True
+        return False
+
+    def _watch(self) -> None:
+        while not self._stop.wait(_INTERRUPT_POLL):
+            if self._poll():
+                try:
+                    self.connection.interrupt()
+                except sqlite3.Error:  # pragma: no cover - closing race
+                    pass
+                return
+
+    def check(self) -> None:
+        """Raise if cancellation already fired (or fires right now)."""
+        if self.fired or self._poll():
+            raise TimeoutExceeded(self.reason)
+
+    def __enter__(self) -> "_InterruptGuard":
+        if self.cancel_event is not None or self.deadline is not None:
+            self._thread = threading.Thread(
+                target=self._watch, name="repro-sqlgen-watchdog", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+
+class SQLExecutor:
+    """Runs compiled plans over a :class:`SQLStore` — the pushdown twin of
+    :class:`~repro.query.columnar.PlanExecutor`, same result shape, same
+    cancellation semantics."""
+
+    def __init__(
+        self, store: SQLStore, cancel_event=None, deadline: float | None = None
+    ) -> None:
+        self.store = store
+        self.cancel_event = cancel_event
+        self.deadline = deadline
+
+    # ------------------------------------------------------------------ #
+    # statement execution with fault points and retry
+    # ------------------------------------------------------------------ #
+    def _exec(self, connection, sql: str, guard: _InterruptGuard | None = None):
+        def attempt():
+            if guard is not None:
+                guard.check()
+            faults.fire("sqlgen.exec", statement=sql.split(None, 1)[0].lower())
+            try:
+                return connection.execute(sql)
+            except sqlite3.Error:
+                if guard is not None and guard.fired:
+                    # The watcher interrupted this statement: surface the
+                    # cancellation, not the carrier error, and never retry.
+                    raise TimeoutExceeded(guard.reason) from None
+                raise
+
+        return self.store.retry.call(attempt, retry_on=(sqlite3.Error,))
+
+    def _is_empty(self, connection, table: str, guard) -> bool:
+        cursor = self._exec(connection, f"SELECT EXISTS (SELECT 1 FROM {table})", guard)
+        return not cursor.fetchone()[0]
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: QueryPlan, program: SQLProgram | None = None) -> ExecutionResult:
+        """Execute ``plan`` (compiling it to SQL unless ``program`` is given)."""
+        store = self.store
+        with store.lock:
+            connection = store.connection()
+            store.ensure_loaded(plan, self)
+            if program is None:
+                program = compile_sql(plan, store.catalog_for(plan))
+            guard = _InterruptGuard(connection, self.cancel_event, self.deadline)
+            try:
+                with guard:
+                    try:
+                        return self._run(plan, program, connection, guard)
+                    except sqlite3.Error:
+                        # An interrupt can also land inside a fetch (result
+                        # rows are produced lazily); surface it uniformly.
+                        if guard.fired:
+                            raise TimeoutExceeded(guard.reason) from None
+                        raise
+            finally:
+                for statement in program.cleanup:
+                    try:
+                        connection.execute(statement)
+                    except sqlite3.Error:  # pragma: no cover - best-effort drop
+                        pass
+
+    def _run(
+        self, plan: QueryPlan, program: SQLProgram, connection, guard: _InterruptGuard
+    ) -> ExecutionResult:
+        stats = ExecutionStatistics()
+        guard.check()
+        bag_index = 0
+        for statement in program.setup:
+            self._exec(connection, statement, guard)
+            if statement.startswith("CREATE TEMP TABLE bag_"):
+                stats.bags_built += 1
+                table = program.bag_tables[bag_index]
+                bag_index += 1
+                if self._is_empty(connection, table, guard):
+                    stats.early_exit = True
+                    return self._empty_result(plan, stats)
+        for phase in (program.bottom_up, program.top_down):
+            for statement, target in phase:
+                cursor = self._exec(connection, statement, guard)
+                stats.semijoins_run += 1
+                if cursor.rowcount and self._is_empty(connection, target, guard):
+                    stats.early_exit = True
+                    return self._empty_result(plan, stats)
+        if plan.mode is AnswerMode.BOOLEAN:
+            # Bottom-up reduction succeeded with a surviving root tuple.
+            return ExecutionResult(plan.mode, boolean=True, statistics=stats)
+
+        for statement, kind in program.joins:
+            self._exec(connection, statement, guard)
+            if kind == "join":
+                stats.joins_run += 1
+        cursor = self._exec(connection, program.answer, guard)
+        if program.answer_kind == "count":
+            count = int(cursor.fetchone()[0])
+            return ExecutionResult(plan.mode, boolean=count > 0, count=count, statistics=stats)
+        if program.answer_kind == "exists":
+            exists = bool(cursor.fetchone()[0])
+            count = 1 if exists else 0
+            rows: set[tuple] = {()} if exists else set()
+            answers = Relation.from_trusted_rows("answer", plan.output, rows)
+            return ExecutionResult(
+                plan.mode, answers=answers, boolean=exists, count=count, statistics=stats
+            )
+        fetched = cursor.fetchall()
+        guard.check()
+        stats.rows_materialised += len(fetched)
+        if self.store.interned:
+            values = self.store._values
+            rows = {tuple(values[code] for code in row) for row in fetched}
+        else:
+            rows = {tuple(row) for row in fetched}
+        answers = Relation.from_trusted_rows("answer", plan.output, rows)
+        return ExecutionResult(
+            plan.mode,
+            answers=answers,
+            boolean=len(answers) > 0,
+            count=len(answers),
+            statistics=stats,
+        )
+
+    def _empty_result(self, plan: QueryPlan, stats: ExecutionStatistics) -> ExecutionResult:
+        if plan.mode is AnswerMode.BOOLEAN:
+            return ExecutionResult(plan.mode, boolean=False, statistics=stats)
+        if plan.mode is AnswerMode.COUNT:
+            return ExecutionResult(plan.mode, boolean=False, count=0, statistics=stats)
+        empty = Relation("answer", plan.output, set())
+        return ExecutionResult(plan.mode, answers=empty, boolean=False, count=0, statistics=stats)
+
+
+#: Module-level fallback stores for the convenience wrapper, one per
+#: database, dropped with the database (mirrors nothing in columnar — the
+#: columnar wrapper builds throwaway stores — but a throwaway *SQL* store
+#: would re-bulk-load the database on every call, which is the one cost the
+#: SQL arm must amortise to be usable).
+_fallback_stores: "weakref.WeakKeyDictionary[Database, SQLStore]" = weakref.WeakKeyDictionary()
+_fallback_lock = threading.Lock()
+
+
+def execute_plan_sql(
+    plan: QueryPlan,
+    database: Database,
+    store: SQLStore | None = None,
+    cancel_event=None,
+    deadline: float | None = None,
+) -> ExecutionResult:
+    """Convenience wrapper: run ``plan`` over ``database`` via SQL pushdown.
+
+    Pass a persistent :class:`SQLStore` to control connection lifetime
+    explicitly; otherwise a per-database store is kept in a weak module
+    registry so repeated calls reuse the loaded tables and the open
+    connection.  ``cancel_event``/``deadline`` arm in-flight cancellation
+    (see :class:`SQLExecutor`).
+    """
+    if store is None:
+        with _fallback_lock:
+            store = _fallback_stores.get(database)
+            if store is None:
+                store = SQLStore(database)
+                _fallback_stores[database] = store
+    elif store.database is not database:
+        raise QueryError("the SQL store belongs to a different database")
+    return SQLExecutor(store, cancel_event=cancel_event, deadline=deadline).execute(plan)

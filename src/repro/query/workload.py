@@ -51,6 +51,7 @@ from .columnar import ColumnStore, ExecutionResult, PlanExecutor
 from .database import Database
 from .plan import AnswerMode, QueryPlan, compile_plan
 from .relation import Relation
+from .sqlgen import SQLExecutor, SQLStore, compile_sql
 
 __all__ = [
     "PlannedQuery",
@@ -174,6 +175,7 @@ class QueryEngine:
     """
 
     PLAN_CACHE_NAME = "query-plans"
+    SQL_CACHE_NAME = "query-sql"
 
     def __init__(
         self,
@@ -200,6 +202,11 @@ class QueryEngine:
         )
         #: Per-database column stores, dropped when the database is collected.
         self._stores: "weakref.WeakKeyDictionary[Database, ColumnStore]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: Per-database SQL stores (connection + interned base tables) for
+        #: the ``executor="sql"`` arm, with the same lifetime rule.
+        self._sql_stores: "weakref.WeakKeyDictionary[Database, SQLStore]" = (
             weakref.WeakKeyDictionary()
         )
         self._stores_lock = threading.Lock()
@@ -242,6 +249,42 @@ class QueryEngine:
                 store = ColumnStore(database)
                 self._stores[database] = store
             return store
+
+    def sql_store_for(self, database: Database) -> SQLStore:
+        """The persistent SQL store of ``database`` (created on demand).
+
+        Same uniqueness argument as :meth:`store_for`: one store per
+        database keeps one connection, one set of loaded base tables and
+        one interning dictionary."""
+        with self._stores_lock:
+            store = self._sql_stores.get(database)
+            if store is None:
+                store = SQLStore(database)
+                self._sql_stores[database] = store
+            return store
+
+    def sql_program(self, query: ConjunctiveQuery, planned: PlannedQuery, store: SQLStore):
+        """The cached SQL rendering of ``planned`` for ``store``'s source.
+
+        Cached next to the plan cache in the decomposition engine's
+        auxiliary LRU, keyed like a plan plus the source fingerprint —
+        in-memory sources share one program, on-disk sources re-key when
+        the file schema differs."""
+        key = (
+            query_signature(query),
+            planned.plan.mode.value,
+            self._configuration,
+            self.max_width,
+            store.source_fingerprint(planned.plan),
+        )
+        cache = self._decomposition_engine().auxiliary_cache(
+            self.SQL_CACHE_NAME, self._plan_cache_entries
+        )
+        program = cache.get(key)
+        if program is None:
+            program = compile_sql(planned.plan, store.catalog_for(planned.plan))
+            cache.put(key, program)
+        return program
 
     # ------------------------------------------------------------------ #
     # planning
@@ -302,29 +345,47 @@ class QueryEngine:
         database: Database,
         mode: AnswerMode | str = AnswerMode.ENUMERATE,
         *,
+        executor: str = "columnar",
         cancel_event=None,
         timeout: float | None = None,
     ) -> QueryResult:
         """Plan (or fetch the cached plan for) ``query`` and run it.
 
+        ``executor`` picks the execution arm for the shared plan:
+        ``"columnar"`` (default) runs in-memory; ``"sql"`` pushes the plan
+        down into SQLite (see :mod:`repro.query.sqlgen`), reusing the plan
+        cache and caching the generated SQL program alongside it.
+
         ``cancel_event`` (any object with ``is_set()``) and ``timeout``
         (seconds) arm in-flight cancellation of the *execution* stage: the
         columnar executor polls periodically and raises
-        :class:`~repro.exceptions.TimeoutExceeded` promptly.  Planning is
-        bounded separately by the engine-level ``timeout`` — the plan cache
-        is keyed on the engine configuration, so a per-request deadline
-        must not change what gets cached.
+        :class:`~repro.exceptions.TimeoutExceeded` promptly, and the SQL
+        executor interrupts the in-flight statement with the same
+        semantics.  Planning is bounded separately by the engine-level
+        ``timeout`` — the plan cache is keyed on the engine configuration,
+        so a per-request deadline must not change what gets cached.
         """
+        if executor not in ("columnar", "sql"):
+            raise QueryError(f"unknown executor {executor!r}; known: columnar, sql")
         start = time.monotonic()
         planned, cached = self.plan(query, mode)
         plan_seconds = time.monotonic() - start
 
-        store = self.store_for(database)
-        start = time.monotonic()
-        deadline = None if timeout is None else start + timeout
-        execution = PlanExecutor(
-            store, cancel_event=cancel_event, deadline=deadline
-        ).execute(planned.plan)
+        if executor == "sql":
+            sql_store = self.sql_store_for(database)
+            program = self.sql_program(query, planned, sql_store)
+            start = time.monotonic()
+            deadline = None if timeout is None else start + timeout
+            execution = SQLExecutor(
+                sql_store, cancel_event=cancel_event, deadline=deadline
+            ).execute(planned.plan, program)
+        else:
+            store = self.store_for(database)
+            start = time.monotonic()
+            deadline = None if timeout is None else start + timeout
+            execution = PlanExecutor(
+                store, cancel_event=cancel_event, deadline=deadline
+            ).execute(planned.plan)
         execution_seconds = time.monotonic() - start
         return QueryResult(
             query=query,
@@ -340,9 +401,13 @@ class QueryEngine:
         queries,
         database: Database,
         mode: AnswerMode | str = AnswerMode.ENUMERATE,
+        *,
+        executor: str = "columnar",
     ) -> list[QueryResult]:
         """Execute a sequence of queries against one database."""
-        return [self.execute(query, database, mode) for query in queries]
+        return [
+            self.execute(query, database, mode, executor=executor) for query in queries
+        ]
 
 
 class QueryWorkload:
@@ -359,10 +424,14 @@ class QueryWorkload:
         database: Database,
         engine: QueryEngine | None = None,
         default_mode: AnswerMode | str = AnswerMode.ENUMERATE,
+        executor: str = "columnar",
     ) -> None:
+        if executor not in ("columnar", "sql"):
+            raise QueryError(f"unknown executor {executor!r}; known: columnar, sql")
         self.database = database
         self.engine = engine if engine is not None else QueryEngine()
         self.default_mode = AnswerMode.coerce(default_mode)
+        self.executor = executor
         self._items: list[tuple[ConjunctiveQuery, AnswerMode]] = []
 
     def add(
@@ -389,7 +458,9 @@ class QueryWorkload:
         misses_before = self.engine.plan_cache_misses
         start = time.monotonic()
         for query, mode in self._items:
-            report.results.append(self.engine.execute(query, self.database, mode))
+            report.results.append(
+                self.engine.execute(query, self.database, mode, executor=self.executor)
+            )
         report.total_seconds = time.monotonic() - start
         report.plan_cache_hits = self.engine.plan_cache_hits - hits_before
         report.plan_cache_misses = self.engine.plan_cache_misses - misses_before

@@ -150,12 +150,15 @@ def run_selftest(
     catalog: str | None = None,
     chaos_seed: int | None = None,
     backend: str = "thread",
+    executor: str = "columnar",
 ) -> tuple[bool, str, dict]:
     """Run the concurrent smoke scenario; returns (ok, report text, stats dict).
 
     ``backend`` selects the service's execution backend (``"thread"`` or
     ``"process"``); the scenario and its invariants are backend-agnostic,
-    which is the point — both must serve the same answers.
+    which is the point — both must serve the same answers.  ``executor``
+    picks the query-execution arm the same way (``"columnar"`` or
+    ``"sql"``): the mode-agreement invariant must hold on either.
 
     ``catalog`` (a path) makes the engine persist decided outcomes to a
     durable :class:`~repro.catalog.DecompositionCatalog` and serve repeats
@@ -194,7 +197,7 @@ def run_selftest(
                     for hypergraph, k, expect in instances
                 ]
                 query_tickets = [
-                    service.submit_query(query, database, mode)
+                    service.submit_query(query, database, mode, executor=executor)
                     for mode in ("boolean", "count", "enumerate")
                 ]
                 for ticket, expect in tickets:
@@ -419,6 +422,13 @@ def _parser() -> argparse.ArgumentParser:
         "cache-affinity-routed process pool",
     )
     parser.add_argument(
+        "--executor",
+        choices=("columnar", "sql"),
+        default="columnar",
+        help="query execution arm: the in-memory columnar engine (default) "
+        "or SQL pushdown into SQLite",
+    )
+    parser.add_argument(
         "--workers", type=int, default=4, help="service workers (threads or processes)"
     )
     parser.add_argument("--clients", type=int, default=8, help="concurrent client threads")
@@ -462,6 +472,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         catalog=args.catalog,
         chaos_seed=args.chaos_seed if args.chaos else None,
         backend=args.backend,
+        executor=args.executor,
     )
     if args.json:
         print(json.dumps(stats, indent=2))

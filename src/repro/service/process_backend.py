@@ -213,6 +213,7 @@ def _run_request(request: dict, engine, query_engine, graphs, databases, cancel)
         decoded["query"],
         database,
         mode,
+        executor=decoded["executor"],
         cancel_event=cancel,
         timeout=decoded["timeout"],
     )
@@ -494,11 +495,20 @@ class ProcessBackend:
         )
 
     def query_request(
-        self, query, database, mode: AnswerMode, timeout: float | None
+        self,
+        query,
+        database,
+        mode: AnswerMode,
+        timeout: float | None,
+        executor: str = "columnar",
     ) -> _Request:
         token, db_payload = self._database_payload(database)
         payload = codec.query_request_to_dict(
-            query=query, mode=mode.value, database=token, timeout=timeout
+            query=query,
+            mode=mode.value,
+            database=token,
+            timeout=timeout,
+            executor=executor,
         )
 
         def decode(answer):

@@ -507,6 +507,7 @@ class DecompositionService:
         database,
         mode: AnswerMode | str = AnswerMode.ENUMERATE,
         *,
+        executor: str = "columnar",
         timeout: float | None = None,
         priority: int | None = None,
     ) -> ServiceTicket:
@@ -523,12 +524,23 @@ class DecompositionService:
         column store already make repeats cheap, and the memo would have to
         pin the database alive.  Cancelling a query ticket before the task
         starts removes it from the queue; once executing, the columnar
-        executor aborts at its next periodic cancellation check (see
+        executor aborts at its next periodic cancellation check and the
+        SQL executor interrupts its in-flight statement (see
         :meth:`ServiceTicket.cancel`).  ``timeout`` bounds the execution
         stage the same way (the ticket then raises
         :class:`~repro.exceptions.TimeoutExceeded`).
+
+        ``executor`` selects the query engine's execution arm
+        (``"columnar"`` or ``"sql"``); with the process backend, a
+        path-backed :class:`~repro.query.sqlgen.SQLDatabase` ships as its
+        *path* token, so on-disk databases larger than memory never cross
+        the worker pipe.
         """
         mode = AnswerMode.coerce(mode)
+        if executor not in ("columnar", "sql"):
+            raise ServiceError(
+                f"unknown executor {executor!r}; known: columnar, sql"
+            )
         query_engine = self._resolve_query_engine()
         if priority is None:
             priority = (
@@ -544,6 +556,7 @@ class DecompositionService:
             query_engine.configuration,
             id(database),
             timeout,
+            executor,
         )
         submitted_at = time.monotonic()
 
@@ -552,12 +565,17 @@ class DecompositionService:
             # Raises ServiceError when the database holds values that
             # cannot cross the process boundary (non-JSON-scalar tuples).
             request = self._process_backend.query_request(
-                query, database, mode, timeout
+                query, database, mode, timeout, executor=executor
             )
 
         def run(cancel_event) -> QueryResult:
             return query_engine.execute(
-                query, database, mode, cancel_event=cancel_event, timeout=timeout
+                query,
+                database,
+                mode,
+                executor=executor,
+                cancel_event=cancel_event,
+                timeout=timeout,
             )
 
         return self._admit(

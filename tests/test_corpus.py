@@ -11,7 +11,9 @@ from repro.bench.corpus import (
     hb_large,
     size_group,
 )
-from repro.exceptions import SolverError
+from repro.exceptions import QueryError, SolverError
+from repro.hypergraph.cq import Atom, ConjunctiveQuery
+from repro.query import QueryEngine, random_database_for_query
 
 
 def test_size_groups():
@@ -87,3 +89,47 @@ def test_medium_scale_is_larger_than_small():
     assert len(generate_corpus("medium")) > len(generate_corpus("small")) > len(
         generate_corpus("tiny")
     )
+
+
+# --------------------------------------------------------------------------- #
+# cross-executor mode agreement on the corpus (the SQL arm)
+# --------------------------------------------------------------------------- #
+def _corpus_query(instance) -> ConjunctiveQuery:
+    """The corpus instance read as a conjunctive query (one atom per edge)."""
+    atoms = tuple(
+        Atom(name, tuple(sorted(vertices)))
+        for name, vertices in sorted(instance.hypergraph.edges_as_dict().items())
+    )
+    variables = sorted({v for atom in atoms for v in atom.arguments})
+    return ConjunctiveQuery(atoms, tuple(variables[:2]), name=instance.name)
+
+
+@pytest.fixture(scope="module")
+def corpus_sql_engine():
+    return QueryEngine(algorithm="hybrid", max_width=10, timeout=18)
+
+
+@pytest.mark.parametrize(
+    "instance", generate_corpus("tiny"), ids=lambda instance: instance.name
+)
+def test_corpus_sql_answer_modes_agree(instance, corpus_sql_engine):
+    # For every corpus instance the SQL arm's three answer modes must tell
+    # one story: boolean == (len(enumerate) > 0) and count == len(enumerate).
+    query = _corpus_query(instance)
+    database = random_database_for_query(
+        query, domain_size=3, tuples_per_relation=6, seed=instance.num_edges
+    )
+    try:
+        enum = corpus_sql_engine.execute(query, database, "enumerate", executor="sql")
+    except QueryError as error:
+        # A few dense synthetic instances exceed the width/time budget.  The
+        # refusal happens in the decomposition layer, *before* the executor
+        # choice, so the arms must still agree — on the refusal itself.
+        assert "no hypertree decomposition" in str(error)
+        with pytest.raises(QueryError, match="no hypertree decomposition"):
+            corpus_sql_engine.execute(query, database, "boolean", executor="columnar")
+        return
+    boolean = corpus_sql_engine.execute(query, database, "boolean", executor="sql")
+    count = corpus_sql_engine.execute(query, database, "count", executor="sql")
+    assert boolean.boolean == (len(enum.answers) > 0)
+    assert count.count == len(enum.answers)

@@ -1,11 +1,20 @@
 """Unit tests for the fault-injection framework and resilience primitives."""
 
 import pickle
+import sqlite3
+import threading
+import time
 
 import pytest
 
 from repro import faults
+from repro.exceptions import ServiceError
 from repro.faults import CircuitBreaker, FaultInjector, FaultRule, RetryPolicy
+from repro.hypergraph.cq import parse_conjunctive_query
+from repro.pipeline.engine import DecompositionEngine
+from repro.query import QueryEngine, random_database_for_query
+from repro.query.database import Database
+from repro.service import DecompositionService
 
 
 # --------------------------------------------------------------------------- #
@@ -256,3 +265,112 @@ def test_breaker_trip_is_idempotent():
     breaker.trip()
     assert breaker.as_dict()["opens"] == 1
     assert breaker.state == "open"
+
+
+# --------------------------------------------------------------------------- #
+# SQL pushdown fault points (sqlgen.connect / sqlgen.exec)
+# --------------------------------------------------------------------------- #
+_SQL_QUERY = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z), t(z,x).")
+
+
+def _sql_database():
+    return random_database_for_query(
+        _SQL_QUERY, domain_size=4, tuples_per_relation=12, seed=3
+    )
+
+
+def _fresh_engine():
+    return QueryEngine(engine=DecompositionEngine(cache=False))
+
+
+def test_sql_transient_exec_faults_are_retried_invisibly():
+    # Every statement runs on an autocommit connection, so a failed one
+    # changed nothing and the per-statement retry hides transient errors.
+    database = _sql_database()
+    expected = _fresh_engine().execute(_SQL_QUERY, database, "enumerate", executor="columnar")
+    rule = FaultRule(
+        point="sqlgen.exec", error=sqlite3.OperationalError("disk I/O error"), times=2
+    )
+    with faults.injected(rule) as injector:
+        result = _fresh_engine().execute(_SQL_QUERY, database, "enumerate", executor="sql")
+    assert injector.total_injected() == 2
+    assert result.answers.as_dicts() == expected.answers.as_dicts()
+
+
+def test_sql_transient_connect_fault_is_retried_invisibly():
+    database = _sql_database()
+    expected = _fresh_engine().execute(_SQL_QUERY, database, "count", executor="columnar")
+    rule = FaultRule(
+        point="sqlgen.connect",
+        error=sqlite3.OperationalError("unable to open database file"),
+        times=1,
+    )
+    with faults.injected(rule) as injector:
+        result = _fresh_engine().execute(_SQL_QUERY, database, "count", executor="sql")
+    assert injector.total_injected() == 1
+    assert result.count == expected.count
+
+
+def test_sql_exec_fault_outlasting_retries_surfaces():
+    # Three attempts (initial + 2 retries) all injected: the error escapes.
+    database = _sql_database()
+    rule = FaultRule(
+        point="sqlgen.exec", error=sqlite3.OperationalError("disk I/O error"), times=5
+    )
+    with faults.injected(rule) as injector:
+        with pytest.raises(sqlite3.OperationalError, match="disk I/O error"):
+            _fresh_engine().execute(_SQL_QUERY, database, "boolean", executor="sql")
+    assert injector.injected_counts()["sqlgen.exec"] == 3
+
+
+class _GatedRelation:
+    """Relation double whose tuples block until released.
+
+    ``Database.add`` only reads ``name``; the SQL store reads ``tuples``
+    when it first bulk-loads the base table, which happens inside the
+    running execution — so a service query against this relation is
+    reliably *started* (and inside the SQL executor) while gated.
+    """
+
+    def __init__(self, inner, started: threading.Event, release: threading.Event):
+        self._inner = inner
+        self._started = started
+        self._release = release
+        self.name = inner.name
+        self.schema = inner.schema
+
+    @property
+    def tuples(self):
+        self._started.set()
+        assert self._release.wait(timeout=30)
+        return self._inner.tuples
+
+
+def test_sql_interrupt_during_query_counts_cancelled_running():
+    # Cancelling a running SQL execution goes through the connection's
+    # interrupt handle and must book exactly one ``cancelled_running``.
+    started, release = threading.Event(), threading.Event()
+    real = _sql_database()
+    database = Database()
+    database.add(_GatedRelation(real.get("r"), started, release))
+    for name in ("s", "t"):
+        database.add(real.get(name))
+    svc = DecompositionService(num_workers=2, engine=DecompositionEngine(cache=False))
+    try:
+        ticket = svc.submit_query(_SQL_QUERY, database, "enumerate", executor="sql")
+        assert started.wait(timeout=10)  # execution is inside the bulk load
+        assert ticket.cancel() is True
+        release.set()  # the executor resumes, then sees the event and aborts
+        with pytest.raises(ServiceError):
+            ticket.result(timeout=30)
+        deadline = time.monotonic() + 10
+        while svc.stats().cancelled == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        stats = svc.stats()
+        assert stats.cancelled == 1
+        assert stats.cancelled_running == 1  # aborted mid-execution, not queued
+        # The store stays usable: the same service keeps answering afterwards.
+        again = svc.submit_query(_SQL_QUERY, real, "boolean", executor="sql")
+        assert again.result(timeout=30).boolean in (True, False)
+    finally:
+        svc.shutdown(wait=True, cancel_pending=True)

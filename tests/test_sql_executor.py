@@ -1,0 +1,334 @@
+"""Three-way differential tests pinning the SQL pushdown executor.
+
+A third executor triples the surface where answers can silently diverge, so
+this suite is the contract: on generated acyclic and bounded-width CQs with
+random databases, ``eager`` == ``columnar`` == ``sql`` — byte-identical
+answers across all three answer modes, including empty relations, repeated
+variables and single-atom queries, for in-memory *and* on-disk (SQLite
+file) sources.  The satellite units cover program caching, store reuse,
+cancellation and the path-shipping codec branch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import codec
+from repro.exceptions import QueryError, TimeoutExceeded
+from repro.hypergraph.cq import Atom, ConjunctiveQuery, parse_conjunctive_query
+from repro.query import (
+    Database,
+    QueryEngine,
+    Relation,
+    SQLDatabase,
+    SQLStore,
+    compile_sql,
+    dump_database,
+    evaluate_query,
+    execute_plan_sql,
+    naive_join_query,
+    random_database_for_query,
+)
+from repro.query.sqlgen import SQLExecutor
+
+# --------------------------------------------------------------------------- #
+# strategies: random CQs with matching random databases
+# --------------------------------------------------------------------------- #
+_VARIABLES = [f"v{i}" for i in range(6)]
+#: Mixed-type values: SQL must agree with Python across ints, strings and
+#: None (null-safe ``IS`` joins) — not just on a dense integer domain.
+_VALUES = st.one_of(st.integers(0, 3), st.sampled_from(["a", "b"]), st.none())
+
+
+@st.composite
+def _query_and_database(draw, values=st.integers(0, 3)):
+    num_atoms = draw(st.integers(1, 4))
+    atoms = []
+    for index in range(num_atoms):
+        arity = draw(st.integers(1, 3))
+        # Variables may repeat inside an atom (repeated-variable binding).
+        arguments = tuple(draw(st.sampled_from(_VARIABLES)) for _ in range(arity))
+        atoms.append(Atom(f"rel{index}", arguments))
+    variables = sorted({v for atom in atoms for v in atom.arguments})
+    # Output may be empty (Boolean query) or any subset of the variables.
+    free = tuple(draw(st.lists(st.sampled_from(variables), unique=True, max_size=3)))
+    query = ConjunctiveQuery(tuple(atoms), free)
+
+    database = Database()
+    for atom in atoms:
+        schema = [f"a{i}" for i in range(len(atom.arguments))]
+        # Relations may be empty.
+        rows = draw(
+            st.lists(st.tuples(*[values for _ in atom.arguments]), max_size=10)
+        )
+        database.add(Relation(atom.relation, schema, rows))
+    return query, database
+
+
+def _assert_three_way(query, database, sql_database=None):
+    """eager == columnar == sql on every answer mode, byte-identical."""
+    eager = evaluate_query(query, database, executor="eager")
+    target = database if sql_database is None else sql_database
+    for mode in ("enumerate", "boolean", "count"):
+        columnar = evaluate_query(query, database, mode=mode, executor="columnar")
+        sql = evaluate_query(query, target, mode=mode, executor="sql")
+        assert sql.boolean_answer == columnar.boolean_answer == (len(eager.answers) > 0), mode
+        assert sql.count == columnar.count, mode
+        if mode == "enumerate":
+            assert sql.answers.as_dicts() == eager.answers.as_dicts()
+            assert columnar.answers.as_dicts() == eager.answers.as_dicts()
+            assert sql.count == len(eager.answers)
+        elif mode == "count":
+            assert sql.count == len(eager.answers)
+
+
+@given(_query_and_database())
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_three_way_differential_in_memory(case):
+    _assert_three_way(*case)
+
+
+@given(_query_and_database(values=_VALUES))
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_three_way_differential_mixed_types(case):
+    # Strings and None flow through interning and the null-safe IS joins.
+    _assert_three_way(*case)
+
+
+@given(case=_query_and_database())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_three_way_differential_on_disk(tmp_path_factory, case):
+    # The same query answered against the database dumped to a SQLite file:
+    # the SQL arm reads the file in place, eager/columnar load it lazily.
+    query, database = case
+    path = tmp_path_factory.mktemp("sqldb") / "facts.sqlite"
+    on_disk = dump_database(database, path)
+    _assert_three_way(query, database, sql_database=on_disk)
+
+
+# --------------------------------------------------------------------------- #
+# directed edge cases (the classes the generator can only hit by luck)
+# --------------------------------------------------------------------------- #
+def _sql_all_modes(query, database):
+    naive = naive_join_query(database, query.atoms, query.free_variables)
+    results = {}
+    for mode in ("enumerate", "boolean", "count"):
+        report = evaluate_query(query, database, mode=mode, executor="sql")
+        results[mode] = report
+        assert report.boolean_answer == (len(naive) > 0), mode
+    assert results["enumerate"].answers.as_dicts() == naive.as_dicts()
+    assert results["count"].count == len(naive)
+    return results
+
+
+def test_empty_relation_early_exit():
+    query = ConjunctiveQuery((Atom("r", ("x", "y")), Atom("s", ("y", "z"))), ("x",))
+    database = Database(
+        [Relation("r", ["a0", "a1"], []), Relation("s", ["a0", "a1"], [(1, 2)])]
+    )
+    results = _sql_all_modes(query, database)
+    assert len(results["enumerate"].answers) == 0
+
+
+def test_repeated_variables_inside_atoms():
+    query = ConjunctiveQuery(
+        (Atom("r", ("x", "x", "y")), Atom("s", ("y", "y"))), ("x", "y")
+    )
+    database = Database(
+        [
+            Relation("r", ["a0", "a1", "a2"], [(1, 1, 2), (1, 2, 2), (3, 3, 3)]),
+            Relation("s", ["a0", "a1"], [(2, 2), (3, 1), (3, 3)]),
+        ]
+    )
+    results = _sql_all_modes(query, database)
+    assert results["enumerate"].answers.as_dicts() == {
+        frozenset({("x", 1), ("y", 2)}),
+        frozenset({("x", 3), ("y", 3)}),
+    }
+
+
+def test_single_atom_query():
+    query = ConjunctiveQuery((Atom("r", ("x", "y")),), ("y",))
+    database = Database([Relation("r", ["a0", "a1"], [(1, 2), (3, 2), (4, 5)])])
+    results = _sql_all_modes(query, database)
+    assert results["enumerate"].answers.as_dicts() == {
+        frozenset({("y", 2)}),
+        frozenset({("y", 5)}),
+    }
+
+
+def test_none_joins_with_itself():
+    # SQL NULL never equals NULL under `=`; the generator must use `IS`.
+    query = ConjunctiveQuery((Atom("r", ("x", "y")), Atom("s", ("y", "z"))), ("x", "z"))
+    database = Database(
+        [
+            Relation("r", ["a0", "a1"], [(1, None)]),
+            Relation("s", ["a0", "a1"], [(None, 7)]),
+        ]
+    )
+    results = _sql_all_modes(query, database)
+    assert results["count"].count == 1
+
+
+# --------------------------------------------------------------------------- #
+# engine integration: caching, stores, cancellation
+# --------------------------------------------------------------------------- #
+def test_sql_program_and_plan_are_cached():
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    database = random_database_for_query(query, seed=11)
+    engine = QueryEngine()
+    first = engine.execute(query, database, "count", executor="sql")
+    second = engine.execute(query, database, "count", executor="sql")
+    assert second.plan_cached and not first.plan_cached
+    assert first.count == second.count
+    # One persistent store per database: connection and loaded tables reused.
+    assert engine.sql_store_for(database) is engine.sql_store_for(database)
+    planned, _ = engine.plan(query, "count")
+    store = engine.sql_store_for(database)
+    assert engine.sql_program(query, planned, store) is engine.sql_program(
+        query, planned, store
+    )
+
+
+def test_sql_executor_rejects_unknown_name():
+    query = parse_conjunctive_query("ans(x) :- r(x,y).")
+    database = random_database_for_query(query, seed=1)
+    with pytest.raises(QueryError):
+        QueryEngine().execute(query, database, executor="no-such-arm")
+    with pytest.raises(QueryError):
+        evaluate_query(query, database, executor="no-such-arm")
+
+
+def test_sql_store_database_mismatch_rejected():
+    query = parse_conjunctive_query("ans(x) :- r(x,y).")
+    db1 = random_database_for_query(query, seed=1)
+    db2 = random_database_for_query(query, seed=2)
+    engine = QueryEngine()
+    planned, _ = engine.plan(query, "enumerate")
+    with pytest.raises(QueryError):
+        execute_plan_sql(planned.plan, db1, SQLStore(db2))
+
+
+def test_cancel_event_preempts_execution():
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    database = random_database_for_query(query, seed=3)
+    event = threading.Event()
+    event.set()
+    with pytest.raises(TimeoutExceeded, match="cancelled"):
+        QueryEngine().execute(query, database, executor="sql", cancel_event=event)
+
+
+def test_deadline_preempts_execution():
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    database = random_database_for_query(query, seed=3)
+    with pytest.raises(TimeoutExceeded, match="time budget"):
+        QueryEngine().execute(query, database, executor="sql", timeout=-1.0)
+
+
+def test_mid_flight_interrupt_leaves_store_reusable():
+    # A cross-product large enough to outlive the cancel delay; afterwards
+    # the same store must serve the next query (temp objects cleaned up).
+    n = 200
+    rows = {(i, j) for i in range(n) for j in range(3)}
+    database = Database(
+        [
+            Relation("r", ["a0", "a1"], rows),
+            Relation("s", ["a0", "a1"], rows),
+            Relation("t", ["a0", "a1"], rows),
+        ]
+    )
+    query = parse_conjunctive_query("ans(x, y, z, w) :- r(x,y), s(z,w), t(x,w).")
+    engine = QueryEngine()
+    event = threading.Event()
+    timer = threading.Timer(0.1, event.set)
+    timer.start()
+    try:
+        engine.execute(query, database, "enumerate", executor="sql", cancel_event=event)
+    except TimeoutExceeded:
+        pass  # expected on any non-glacial host; completion is also legal
+    finally:
+        timer.cancel()
+    result = engine.execute(query, database, "count", executor="sql")
+    assert result.count == (n * 3) ** 2  # t allows every (x, w) pair
+
+
+# --------------------------------------------------------------------------- #
+# on-disk handles and the wire format
+# --------------------------------------------------------------------------- #
+def test_sql_database_handle(tmp_path):
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    database = random_database_for_query(query, seed=5)
+    handle = dump_database(database, tmp_path / "facts.sqlite")
+    assert set(handle.relation_names()) == set(database.relation_names())
+    assert handle.total_tuples() == database.total_tuples()
+    assert "r" in handle and "zzz" not in handle
+    assert handle.get("r").as_dicts() == database.get("r").as_dicts()
+    with pytest.raises(QueryError):
+        handle.add(Relation("extra", ["a0"], [(1,)]))
+    with pytest.raises(QueryError):
+        handle.get("zzz")
+    reopened = SQLDatabase(tmp_path / "facts.sqlite")
+    assert reopened.table_columns("r") == ("a0", "a1")
+
+
+def test_dump_database_rejects_non_scalars(tmp_path):
+    database = Database([Relation("r", ["a0"], [((1, 2),)])])
+    with pytest.raises(QueryError):
+        dump_database(database, tmp_path / "bad.sqlite")
+
+
+def test_codec_ships_sql_database_as_path(tmp_path):
+    # The process backend's ship-once payload for an on-disk database is the
+    # *path* token — rows never cross the pipe.
+    query = parse_conjunctive_query("ans(x) :- r(x,y).")
+    database = random_database_for_query(query, seed=9)
+    handle = dump_database(database, tmp_path / "facts.sqlite")
+    payload = codec.database_to_dict(handle)
+    assert payload == {"format": codec.DATABASE_FORMAT, "path": handle.path}
+    rebuilt = codec.database_from_dict(payload)
+    assert isinstance(rebuilt, SQLDatabase)
+    assert rebuilt.get("r").as_dicts() == database.get("r").as_dicts()
+
+
+def test_query_request_round_trips_executor():
+    query = parse_conjunctive_query("ans(x) :- r(x,y).")
+    payload = codec.query_request_to_dict(
+        query=query, mode="count", database="db-1", timeout=None, executor="sql"
+    )
+    decoded = codec.service_request_from_dict(payload)
+    assert decoded["executor"] == "sql"
+    # Payloads from older senders default to the columnar arm.
+    del payload["executor"]
+    assert codec.service_request_from_dict(payload)["executor"] == "columnar"
+
+
+def test_compile_sql_program_shape():
+    query = parse_conjunctive_query("ans(x, z) :- r(x,y), s(y,z).")
+    database = random_database_for_query(query, seed=2)
+    engine = QueryEngine()
+    planned, _ = engine.plan(query, "count")
+    store = SQLStore(database)
+    program = compile_sql(planned.plan, store.catalog_for(planned.plan))
+    script = program.describe()
+    assert "CREATE TEMP TABLE bag_0" in script
+    assert "DELETE FROM bag_" in script and "NOT EXISTS" in script
+    assert program.answer_kind == "count" and "COUNT(*)" in program.answer
+    assert all(stmt.startswith("DROP") for stmt in program.cleanup)
+    # Executing the compiled program directly matches the engine result.
+    result = SQLExecutor(store).execute(planned.plan, program)
+    assert result.count == engine.execute(query, database, "count", executor="sql").count
